@@ -1,0 +1,1 @@
+"""Experiment benches (one per paper table/figure; see DESIGN.md)."""

@@ -1,0 +1,82 @@
+"""Address history: the chain explorer over collaborative storage.
+
+Streams blocks through an ICIStrategy network, then answers the classic
+wallet questions — balance and full credit/debit history — from the
+reorg-aware explorer index, and shows the index tracking a chain
+reorganization (stale-branch history disappears).
+
+Run:  python examples/address_history.py
+"""
+
+from __future__ import annotations
+
+from repro import ICIConfig, ICIDeployment, ScenarioRunner
+from repro.analysis.tables import render_table
+from repro.crypto.keys import KeyPair
+from repro.sim.scenario import BENCH_LIMITS
+
+
+def print_history(deployment, address: bytes, label: str) -> None:
+    events = deployment.explorer.history(address)
+    rows = [
+        (
+            event.height,
+            event.direction,
+            f"{event.amount:,}",
+            event.txid.hex()[:12] + "…",
+        )
+        for event in events[-8:]
+    ]
+    print(
+        render_table(
+            ["height", "dir", "amount", "txid"],
+            rows,
+            title=(
+                f"{label}: balance "
+                f"{deployment.explorer.balance(address):,} "
+                f"({len(events)} events, last {len(rows)} shown)"
+            ),
+        )
+    )
+
+
+def main() -> None:
+    deployment = ICIDeployment(
+        16, config=ICIConfig(n_clusters=4, limits=BENCH_LIMITS)
+    )
+    runner = ScenarioRunner(deployment, limits=BENCH_LIMITS)
+    report = runner.produce_blocks(10, txs_per_block=6)
+
+    faucet = KeyPair.from_seed(0).address
+    payee = KeyPair.from_seed(3).address
+    print_history(deployment, faucet, "faucet wallet")
+    print()
+    print_history(deployment, payee, "wallet #3")
+
+    # A reorg orphans the last two blocks; their history must vanish.
+    orphaned = [
+        tx.txid for block in report.blocks[8:] for tx in block.transactions
+    ]
+    runner.produce_fork(fork_from_height=8, length=3)
+    print(
+        f"\nreorg! chain now at height {deployment.ledger.height} "
+        f"({deployment.reorg_count} reorg)"
+    )
+    from repro.errors import UnknownTransactionError
+
+    gone = 0
+    for txid in orphaned:
+        try:
+            deployment.explorer.locate_transaction(txid)
+        except UnknownTransactionError:
+            gone += 1
+    print(
+        f"{gone}/{len(orphaned)} stale-branch transactions correctly "
+        "dropped from the index"
+    )
+    print()
+    print_history(deployment, faucet, "faucet wallet (post-reorg)")
+
+
+if __name__ == "__main__":
+    main()

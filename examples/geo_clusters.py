@@ -1,0 +1,99 @@
+"""Geographic clustering: latency-aware formation on a coordinate plane.
+
+Places 40 nodes in 5 geographic regions, forms clusters three ways
+(random / k-means / latency-greedy), and measures what cluster formation
+does to intra-cluster retrieval latency under a distance-based latency
+model — the E10 ablation as a runnable demo.
+
+Run:  python examples/geo_clusters.py
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro import ICIConfig, ICIDeployment, ScenarioRunner
+from repro.analysis.tables import format_seconds, render_table
+from repro.clustering.coordinates import (
+    mean_pairwise_distance,
+    place_regions,
+)
+from repro.net.latency import CoordinateLatency
+from repro.net.network import Network
+from repro.sim.scenario import BENCH_LIMITS
+
+N_NODES = 40
+N_CLUSTERS = 5
+
+
+def run_with(clustering: str) -> tuple[float, float]:
+    """Returns (mean intra-cluster spread, mean retrieval latency)."""
+    coordinates = place_regions(N_NODES, n_regions=N_CLUSTERS, seed=11)
+    deployment = ICIDeployment(
+        N_NODES,
+        config=ICIConfig(
+            n_clusters=N_CLUSTERS,
+            replication=1,
+            clustering=clustering,
+            limits=BENCH_LIMITS,
+            seed=11,
+        ),
+        network=Network(latency=CoordinateLatency(coordinates)),
+        coordinates=coordinates,
+    )
+    runner = ScenarioRunner(deployment, limits=BENCH_LIMITS)
+    report = runner.produce_blocks(8, txs_per_block=5)
+
+    spread = statistics.fmean(
+        mean_pairwise_distance([coordinates[m] for m in view.members])
+        for view in deployment.clusters.views()
+    )
+
+    latencies = []
+    for block_hash in report.block_hashes[:4]:
+        header = deployment.ledger.store.header(block_hash)
+        for view in deployment.clusters.views():
+            holders = set(
+                deployment.holders_in_cluster(header, view.cluster_id)
+            )
+            for requester in [
+                m for m in view.members if m not in holders
+            ][:3]:
+                record = deployment.retrieve_block(requester, block_hash)
+                deployment.run()
+                if record.latency is not None:
+                    latencies.append(record.latency)
+    return spread, statistics.fmean(latencies)
+
+
+def main() -> None:
+    rows = []
+    for clustering in ("random", "kmeans", "latency"):
+        spread, latency = run_with(clustering)
+        rows.append(
+            (clustering, f"{spread:.1f}", format_seconds(latency))
+        )
+    print(
+        render_table(
+            [
+                "clustering",
+                "mean intra-cluster distance",
+                "mean retrieval latency",
+            ],
+            rows,
+            title=(
+                f"Cluster formation on a {N_CLUSTERS}-region map "
+                f"(N={N_NODES}, distance-proportional latency)"
+            ),
+        )
+    )
+    print(
+        "\nrandom clusters span the whole map, so fetching a body means a"
+        "\ncross-continent round trip; coordinate-aware formation keeps"
+        "\nholders nearby. The default stays 'random' because its storage"
+        "\nmath is exact and membership is not attacker-choosable."
+    )
+
+
+if __name__ == "__main__":
+    main()

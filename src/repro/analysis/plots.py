@@ -1,0 +1,83 @@
+"""ASCII line/bar plots for figure-style experiment output.
+
+The benches regenerate the paper's *figures* as text series plus a small
+ASCII rendering — good enough to eyeball the curve shapes (linear growth,
+1/m decay, crossovers) in CI logs without a display server.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+
+
+def ascii_series(
+    xs: Sequence[float],
+    series: dict[str, Sequence[float]],
+    width: int = 64,
+    height: int = 16,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Plot one or more y-series against shared x values.
+
+    Each series gets a distinct glyph; axes are annotated with min/max.
+
+    Raises:
+        ConfigurationError: on empty/ragged input.
+    """
+    if not xs or not series:
+        raise ConfigurationError("nothing to plot")
+    for name, ys in series.items():
+        if len(ys) != len(xs):
+            raise ConfigurationError(
+                f"series {name!r} length {len(ys)} != x length {len(xs)}"
+            )
+    glyphs = "*o+x#@%&"
+    x_min, x_max = min(xs), max(xs)
+    all_y = [y for ys in series.values() for y in ys]
+    y_min, y_max = min(all_y), max(all_y)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, ys) in enumerate(sorted(series.items())):
+        glyph = glyphs[index % len(glyphs)]
+        for x, y in zip(xs, ys):
+            column = int((x - x_min) / x_span * (width - 1))
+            row = int((y - y_min) / y_span * (height - 1))
+            grid[height - 1 - row][column] = glyph
+
+    lines = [f"{y_label}  (top={y_max:g}, bottom={y_min:g})"]
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    lines.append(f" {x_label}: {x_min:g} .. {x_max:g}")
+    legend = "  ".join(
+        f"{glyphs[i % len(glyphs)]}={name}"
+        for i, name in enumerate(sorted(series))
+    )
+    lines.append(f" legend: {legend}")
+    return "\n".join(lines)
+
+
+def ascii_bars(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 48,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart, one bar per label."""
+    if len(labels) != len(values):
+        raise ConfigurationError("labels and values must align")
+    if not labels:
+        raise ConfigurationError("nothing to plot")
+    peak = max(values) or 1.0
+    label_width = max(len(label) for label in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        bar = "#" * max(int(value / peak * width), 1 if value > 0 else 0)
+        lines.append(
+            f"{label.ljust(label_width)} | {bar} {value:g}{unit}"
+        )
+    return "\n".join(lines)

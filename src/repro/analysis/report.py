@@ -1,0 +1,196 @@
+"""Full-deployment markdown reports.
+
+Renders everything a deployment knows about itself — storage layout,
+traffic breakdown, verification costs, latencies, membership events —
+into one markdown document.  The CLI's ``run --report FILE`` writes it;
+operators get the same post-mortem the benches print, in one place.
+"""
+
+from __future__ import annotations
+
+import statistics
+from typing import TextIO
+
+from repro.analysis.tables import format_bytes, format_seconds
+from repro.net.message import MessageKind
+
+
+def _md_table(headers: list[str], rows: list[tuple]) -> str:
+    lines = [
+        "| " + " | ".join(headers) + " |",
+        "|" + "|".join("---" for _ in headers) + "|",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(str(cell) for cell in row) + " |")
+    return "\n".join(lines)
+
+
+def render_deployment_report(deployment, title: str = "Deployment report") -> str:
+    """Markdown report for any :class:`StorageDeployment`."""
+    sections = [f"# {title}", ""]
+    sections.append(_section_population(deployment))
+    sections.append(_section_storage(deployment))
+    sections.append(_section_traffic(deployment))
+    sections.append(_section_verification(deployment))
+    sections.append(_section_latency(deployment))
+    sections.append(_section_events(deployment))
+    return "\n\n".join(part for part in sections if part)
+
+
+def write_deployment_report(
+    deployment, stream: TextIO, title: str = "Deployment report"
+) -> None:
+    """Write the markdown report to an open text stream."""
+    stream.write(render_deployment_report(deployment, title=title))
+    stream.write("\n")
+
+
+# ----------------------------------------------------------------- sections
+def _section_population(deployment) -> str:
+    rows = [("nodes", deployment.node_count)]
+    clusters = getattr(deployment, "clusters", None) or getattr(
+        deployment, "committees", None
+    )
+    if clusters is not None:
+        rows.append(("clusters/committees", clusters.cluster_count))
+        rows.append(
+            ("group sizes", ", ".join(map(str, clusters.sizes())))
+        )
+    ledger = getattr(deployment, "ledger", None)
+    if ledger is not None:
+        rows.append(("chain height", ledger.height))
+    reorgs = getattr(deployment, "reorg_count", None)
+    if reorgs:
+        rows.append(("reorgs", reorgs))
+    return "## Population\n\n" + _md_table(["quantity", "value"], rows)
+
+
+def _section_storage(deployment) -> str:
+    storage = deployment.storage_report()
+    rows = [
+        ("network total", format_bytes(storage.total_bytes)),
+        ("mean per node", format_bytes(storage.mean_node_bytes)),
+        ("max per node", format_bytes(storage.max_node_bytes)),
+        ("stdev per node", format_bytes(storage.stdev_node_bytes)),
+    ]
+    parity = getattr(deployment, "parity", None)
+    if parity is not None:
+        rows.append(
+            ("parity bytes", format_bytes(parity.total_parity_bytes))
+        )
+        rows.append(("parity groups", parity.sealed_groups))
+    return "## Storage\n\n" + _md_table(["quantity", "value"], rows)
+
+
+def _section_traffic(deployment) -> str:
+    traffic = deployment.network.traffic
+    rows = [
+        (
+            kind.value,
+            traffic.messages_by_kind.get(kind, 0),
+            format_bytes(traffic.bytes_by_kind.get(kind, 0)),
+        )
+        for kind in MessageKind
+        if traffic.bytes_by_kind.get(kind, 0)
+    ]
+    rows.sort(key=lambda row: row[0])
+    rows.append(
+        ("TOTAL", traffic.total_messages, format_bytes(traffic.total_bytes))
+    )
+    return "## Traffic\n\n" + _md_table(
+        ["message kind", "messages", "bytes"], rows
+    )
+
+
+def _section_verification(deployment) -> str:
+    costs = deployment.metrics.costs
+    rows = [
+        ("full body validations", costs.full_validations),
+        ("header-only checks", costs.header_checks),
+        ("simulated CPU seconds", f"{costs.cpu_seconds:.4f}"),
+    ]
+    rejected = deployment.metrics.blocks_rejected
+    rows.append(("blocks rejected", len(rejected)))
+    compact = getattr(deployment, "compact_stats", None)
+    if compact is not None and compact.announcements:
+        rows.append(
+            ("compact mempool hit rate", f"{compact.hit_rate:.0%}")
+        )
+    return "## Verification\n\n" + _md_table(["quantity", "value"], rows)
+
+
+def _section_latency(deployment) -> str:
+    metrics = deployment.metrics
+    rows = []
+    clusters = getattr(deployment, "clusters", None) or getattr(
+        deployment, "committees", None
+    )
+    if clusters is not None and metrics.block_submitted_at:
+        latencies = [
+            lat
+            for block_hash in metrics.block_submitted_at
+            if (
+                lat := metrics.finalize_latency(
+                    block_hash, clusters.cluster_count
+                )
+            )
+            is not None
+        ]
+        if latencies:
+            rows.append(
+                (
+                    "block finalize (all clusters), mean",
+                    format_seconds(statistics.fmean(latencies)),
+                )
+            )
+            rows.append(
+                (
+                    "block finalize, max",
+                    format_seconds(max(latencies)),
+                )
+            )
+    query_latencies = metrics.completed_query_latencies()
+    if query_latencies:
+        rows.append(
+            (
+                "block retrieval, mean",
+                format_seconds(statistics.fmean(query_latencies)),
+            )
+        )
+    if not rows:
+        return ""
+    return "## Latency\n\n" + _md_table(["quantity", "value"], rows)
+
+
+def _section_events(deployment) -> str:
+    metrics = deployment.metrics
+    rows = []
+    for join in metrics.bootstraps:
+        rows.append(
+            (
+                "join",
+                join.node_id,
+                format_bytes(join.total_bytes),
+                format_seconds(join.duration) if join.duration else "-",
+                "complete" if join.complete else "PENDING",
+            )
+        )
+    for departure in metrics.departures:
+        rows.append(
+            (
+                "leave" if departure.graceful else "crash",
+                departure.node_id,
+                format_bytes(departure.bytes_moved),
+                format_seconds(departure.duration)
+                if departure.duration is not None
+                else "-",
+                f"{len(departure.lost_blocks)} lost"
+                if departure.lost_blocks
+                else "complete",
+            )
+        )
+    if not rows:
+        return ""
+    return "## Membership events\n\n" + _md_table(
+        ["event", "node", "bytes", "duration", "status"], rows
+    )

@@ -1,0 +1,42 @@
+"""SPV light-client helper: headers-only participants.
+
+Not a full storage strategy (light clients store no bodies at all and rely
+on serving peers), but a useful yardstick in the bootstrap experiment: the
+joiner cost floor is the header chain.
+"""
+
+from __future__ import annotations
+
+from repro.chain.block import Block, HEADER_SIZE
+from repro.chain.chainstore import ChainStore
+from repro.crypto.merkle import MerkleProof
+
+
+def spv_bootstrap_bytes(chain_height: int) -> int:
+    """Bytes an SPV client downloads to sync: headers only."""
+    if chain_height < 0:
+        raise ValueError("chain height must be >= 0")
+    return HEADER_SIZE * (chain_height + 1)
+
+
+def spv_verify_payment(
+    store: ChainStore,
+    block: Block,
+    tx_index: int,
+) -> tuple[bool, MerkleProof]:
+    """Simulate an SPV payment check against a synced header store.
+
+    The serving node produces the proof from the full block; the SPV side
+    folds it against the header it already has.
+
+    Returns:
+        ``(verified, proof)``.
+    """
+    proof = block.merkle_proof(tx_index)
+    header = store.header(block.block_hash)
+    return proof.verify(header.merkle_root), proof
+
+
+def spv_proof_bytes(proof: MerkleProof) -> int:
+    """Wire size of a served SPV proof."""
+    return proof.size_bytes

@@ -1,0 +1,58 @@
+"""Genesis block construction.
+
+The genesis block seeds the ledger: a single coinbase pays the initial
+supply to a set of faucet addresses that workload generators then spend
+from.  Construction is deterministic given the faucet addresses, so every
+node in a scenario computes the identical genesis hash without exchange.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.chain.block import Block, BlockHeader
+from repro.chain.transaction import Transaction, TxOutput
+from repro.crypto.hashing import ZERO_HASH
+from repro.crypto.merkle import merkle_root
+from repro.errors import ConfigurationError
+
+#: Timestamp baked into every genesis block (simulated epoch).
+GENESIS_TIMESTAMP = 0.0
+#: Value each faucet output receives, in base units.
+DEFAULT_FAUCET_VALUE = 1_000_000_0000_0000
+
+
+def make_genesis(
+    faucet_addresses: Sequence[bytes],
+    faucet_value: int = DEFAULT_FAUCET_VALUE,
+) -> Block:
+    """Build the deterministic genesis block.
+
+    Args:
+        faucet_addresses: addresses receiving the initial supply; workload
+            generators spend from these.
+        faucet_value: base units granted to each address.
+
+    Raises:
+        ConfigurationError: when no faucet addresses are provided.
+    """
+    if not faucet_addresses:
+        raise ConfigurationError("genesis needs at least one faucet address")
+    outputs = tuple(
+        TxOutput(value=faucet_value, address=address)
+        for address in faucet_addresses
+    )
+    coinbase = Transaction(
+        inputs=(),
+        outputs=outputs,
+        payload=b"repro genesis / ICIStrategy reproduction",
+        lock_height=0,
+    )
+    header = BlockHeader(
+        height=0,
+        prev_hash=ZERO_HASH,
+        merkle_root=merkle_root([coinbase.txid]),
+        timestamp=GENESIS_TIMESTAMP,
+        nonce=0,
+    )
+    return Block(header=header, transactions=(coinbase,))

@@ -1,0 +1,173 @@
+"""On-disk persistence for chain stores.
+
+A node that restarts must not re-download its slice, so chain stores
+serialize to a small directory layout:
+
+```
+<root>/
+  headers.dat     # concatenated 84-byte headers, insertion order
+  bodies/<hex>.blk  # one serialized body per held block
+  MANIFEST        # format version + counts, written last (commit marker)
+```
+
+Loading replays headers in file order (parents first, because stores only
+ever index parent-first) and attaches whichever bodies are present.  The
+format is deliberately append-friendly: persisting again after growth
+rewrites only what changed.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.chain.block import (
+    Block,
+    BlockHeader,
+    HEADER_SIZE,
+    deserialize_body,
+    serialize_body,
+)
+from repro.chain.chainstore import ChainStore
+from repro.errors import StorageError
+
+#: Format version written to the manifest.
+FORMAT_VERSION = 1
+_MANIFEST = "MANIFEST"
+_HEADERS = "headers.dat"
+_BODIES = "bodies"
+
+
+def save_chain_store(store: ChainStore, root: Path | str) -> int:
+    """Persist a chain store; returns total bytes written.
+
+    Headers are written in active-chain order followed by any side-chain
+    headers (children always after parents).  The manifest is written
+    last, so a directory without one is recognizably incomplete.
+    """
+    root = Path(root)
+    root.mkdir(parents=True, exist_ok=True)
+    (root / _BODIES).mkdir(exist_ok=True)
+    manifest = root / _MANIFEST
+    if manifest.exists():
+        manifest.unlink()  # invalidate while we rewrite
+
+    ordered = _headers_parent_first(store)
+    written = 0
+    with open(root / _HEADERS, "wb") as handle:
+        for header in ordered:
+            raw = header.serialize()
+            handle.write(raw)
+            written += len(raw)
+
+    kept: set[str] = set()
+    for block in store.iter_bodies():
+        name = block.block_hash.hex() + ".blk"
+        kept.add(name)
+        path = root / _BODIES / name
+        raw = serialize_body(block)
+        path.write_bytes(raw)
+        written += len(raw)
+    for stale in (root / _BODIES).glob("*.blk"):
+        if stale.name not in kept:
+            stale.unlink()
+
+    manifest.write_text(
+        f"version={FORMAT_VERSION}\n"
+        f"headers={len(ordered)}\n"
+        f"bodies={store.body_count}\n",
+        encoding="utf-8",
+    )
+    return written
+
+
+def load_chain_store(root: Path | str) -> ChainStore:
+    """Rebuild a chain store persisted by :func:`save_chain_store`.
+
+    Raises:
+        StorageError: when the directory is missing, incomplete (no
+            manifest), from an unknown format version, or corrupt.
+    """
+    root = Path(root)
+    manifest = root / _MANIFEST
+    if not manifest.exists():
+        raise StorageError(
+            f"{root} has no manifest (missing or interrupted save)"
+        )
+    fields = dict(
+        line.split("=", 1)
+        for line in manifest.read_text(encoding="utf-8").splitlines()
+        if "=" in line
+    )
+    if int(fields.get("version", -1)) != FORMAT_VERSION:
+        raise StorageError(
+            f"unsupported chain-store format {fields.get('version')!r}"
+        )
+
+    store = ChainStore()
+    raw = (root / _HEADERS).read_bytes()
+    if len(raw) % HEADER_SIZE != 0:
+        raise StorageError("headers.dat is truncated")
+    headers: dict[bytes, BlockHeader] = {}
+    for offset in range(0, len(raw), HEADER_SIZE):
+        header = BlockHeader.deserialize(raw[offset : offset + HEADER_SIZE])
+        store.add_header(header)
+        headers[header.block_hash] = header
+    if store.header_count != int(fields.get("headers", -1)):
+        raise StorageError("header count does not match manifest")
+
+    bodies_loaded = 0
+    for path in sorted((root / _BODIES).glob("*.blk")):
+        block_hash = bytes.fromhex(path.stem)
+        header = headers.get(block_hash)
+        if header is None:
+            raise StorageError(
+                f"body {path.name} has no matching header"
+            )
+        block = deserialize_body(header, path.read_bytes())
+        store.add_body(block)
+        bodies_loaded += 1
+    if bodies_loaded != int(fields.get("bodies", -1)):
+        raise StorageError("body count does not match manifest")
+    return store
+
+
+def _headers_parent_first(store: ChainStore) -> list[BlockHeader]:
+    """Every indexed header, parents strictly before children."""
+    ordered = list(store.iter_active_headers())
+    on_chain = {header.block_hash for header in ordered}
+    # Side-chain headers: sort by height, which guarantees parents (at
+    # height h-1, whether active or side) come first.
+    side: list[BlockHeader] = []
+    height = 0
+    while True:
+        layer = [
+            header
+            for header in store.headers_at(height)
+            if header.block_hash not in on_chain
+        ]
+        side.extend(layer)
+        if not store.headers_at(height):
+            break
+        height += 1
+    return ordered + sorted(side, key=lambda h: h.height)
+
+
+def save_block(block: Block, path: Path | str) -> int:
+    """Persist a single block (header + body) to one file."""
+    path = Path(path)
+    raw = block.header.serialize() + serialize_body(block)
+    path.write_bytes(raw)
+    return len(raw)
+
+
+def load_block(path: Path | str) -> Block:
+    """Load a block written by :func:`save_block`.
+
+    Raises:
+        StorageError: on truncation or commitment mismatch.
+    """
+    raw = Path(path).read_bytes()
+    if len(raw) < HEADER_SIZE:
+        raise StorageError(f"{path} is truncated")
+    header = BlockHeader.deserialize(raw[:HEADER_SIZE])
+    return deserialize_body(header, raw[HEADER_SIZE:])

@@ -1,0 +1,315 @@
+"""UTXO-model transactions.
+
+Transactions follow a simplified Bitcoin layout: a list of inputs spending
+previous outputs, a list of value-bearing outputs addressed to 20-byte
+addresses, and one signature per input.  Serialization is a deterministic
+length-framed binary encoding so hashes and wire sizes are stable across
+processes.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from functools import cached_property
+from typing import Iterator, Sequence
+
+from repro.crypto.hashing import Hash32, hash_fields, sha256d
+from repro.crypto.keys import ADDRESS_SIZE, PUBLIC_KEY_SIZE, KeyPair
+from repro.crypto.signatures import SIGNATURE_SIZE, sign
+from repro.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class OutPoint:
+    """A reference to a specific output of a previous transaction."""
+
+    txid: Hash32
+    index: int
+
+    def __post_init__(self) -> None:
+        if len(self.txid) != 32:
+            raise ValidationError("outpoint txid must be 32 bytes")
+        if self.index < 0:
+            raise ValidationError("outpoint index must be non-negative")
+
+    def serialize(self) -> bytes:
+        """36-byte wire form: txid || uint32 index."""
+        return self.txid + struct.pack(">I", self.index)
+
+    @classmethod
+    def deserialize(cls, raw: bytes) -> "OutPoint":
+        """Parse the wire encoding produced by :meth:`serialize`."""
+        if len(raw) != 36:
+            raise ValidationError("outpoint wire form must be 36 bytes")
+        return cls(txid=raw[:32], index=struct.unpack(">I", raw[32:])[0])
+
+
+@dataclass(frozen=True)
+class TxInput:
+    """An input spending a previous output.
+
+    The ``public_key``/``signature`` pair plays the role of Bitcoin's
+    scriptSig: the public key must hash to the spent output's address and the
+    signature must cover the transaction's signing digest.
+    """
+
+    outpoint: OutPoint
+    public_key: bytes = b""
+    signature: bytes = b""
+
+    def serialize(self) -> bytes:
+        """Deterministic binary wire encoding."""
+        return (
+            self.outpoint.serialize()
+            + struct.pack(">B", len(self.public_key))
+            + self.public_key
+            + struct.pack(">B", len(self.signature))
+            + self.signature
+        )
+
+    @property
+    def size_bytes(self) -> int:
+        """Wire size in bytes."""
+        return 36 + 2 + len(self.public_key) + len(self.signature)
+
+
+@dataclass(frozen=True)
+class TxOutput:
+    """A value-bearing output locked to an address."""
+
+    value: int
+    address: bytes
+
+    def __post_init__(self) -> None:
+        if self.value < 0:
+            raise ValidationError("output value must be non-negative")
+        if len(self.address) != ADDRESS_SIZE:
+            raise ValidationError(f"address must be {ADDRESS_SIZE} bytes")
+
+    def serialize(self) -> bytes:
+        """Deterministic binary wire encoding."""
+        return struct.pack(">Q", self.value) + self.address
+
+    @property
+    def size_bytes(self) -> int:
+        """Wire size in bytes."""
+        return 8 + ADDRESS_SIZE
+
+
+@dataclass(frozen=True)
+class Transaction:
+    """A transaction: inputs, outputs, and an optional payload.
+
+    ``payload`` models OP_RETURN-style embedded data and is also how workload
+    generators inflate transactions to realistic byte sizes.
+
+    A *coinbase* transaction has no inputs and mints its outputs; it is only
+    valid as the first transaction of a block.
+    """
+
+    inputs: tuple[TxInput, ...]
+    outputs: tuple[TxOutput, ...]
+    payload: bytes = b""
+    lock_height: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.outputs:
+            raise ValidationError("transaction must have at least one output")
+
+    # ------------------------------------------------------------------ ids
+    @cached_property
+    def txid(self) -> Hash32:
+        """The transaction id: double SHA-256 of the full serialization."""
+        return sha256d(self.serialize())
+
+    @cached_property
+    def signing_digest(self) -> Hash32:
+        """Digest covered by input signatures (excludes the signatures)."""
+        return hash_fields(
+            struct.pack(">I", self.lock_height),
+            self.payload,
+            *[inp.outpoint.serialize() for inp in self.inputs],
+            *[out.serialize() for out in self.outputs],
+        )
+
+    # -------------------------------------------------------------- queries
+    @property
+    def is_coinbase(self) -> bool:
+        """True when this transaction mints new coins (no inputs)."""
+        return not self.inputs
+
+    @property
+    def total_output_value(self) -> int:
+        """Sum of all output values."""
+        return sum(out.value for out in self.outputs)
+
+    def outpoints_spent(self) -> Iterator[OutPoint]:
+        """Iterate the previous outputs this transaction consumes."""
+        for inp in self.inputs:
+            yield inp.outpoint
+
+    # ---------------------------------------------------------------- wire
+    def serialize(self) -> bytes:
+        """Deterministic binary encoding (defines the txid)."""
+        parts = [
+            struct.pack(">I", self.lock_height),
+            struct.pack(">H", len(self.inputs)),
+        ]
+        parts.extend(inp.serialize() for inp in self.inputs)
+        parts.append(struct.pack(">H", len(self.outputs)))
+        parts.extend(out.serialize() for out in self.outputs)
+        parts.append(struct.pack(">I", len(self.payload)))
+        parts.append(self.payload)
+        return b"".join(parts)
+
+    @property
+    def size_bytes(self) -> int:
+        """Wire size in bytes; used by every storage/communication metric."""
+        return (
+            4
+            + 2
+            + sum(inp.size_bytes for inp in self.inputs)
+            + 2
+            + sum(out.size_bytes for out in self.outputs)
+            + 4
+            + len(self.payload)
+        )
+
+    @classmethod
+    def deserialize(cls, raw: bytes) -> "Transaction":
+        """Parse the wire encoding produced by :meth:`serialize`."""
+        offset = 0
+
+        def take(count: int) -> bytes:
+            """Consume ``count`` bytes, erroring on truncation."""
+            nonlocal offset
+            if offset + count > len(raw):
+                raise ValidationError("truncated transaction encoding")
+            piece = raw[offset : offset + count]
+            offset += count
+            return piece
+
+        lock_height = struct.unpack(">I", take(4))[0]
+        n_inputs = struct.unpack(">H", take(2))[0]
+        inputs = []
+        for _ in range(n_inputs):
+            outpoint = OutPoint.deserialize(take(36))
+            pk_len = struct.unpack(">B", take(1))[0]
+            public_key = take(pk_len)
+            sig_len = struct.unpack(">B", take(1))[0]
+            signature = take(sig_len)
+            inputs.append(
+                TxInput(
+                    outpoint=outpoint,
+                    public_key=public_key,
+                    signature=signature,
+                )
+            )
+        n_outputs = struct.unpack(">H", take(2))[0]
+        outputs = []
+        for _ in range(n_outputs):
+            value = struct.unpack(">Q", take(8))[0]
+            address = take(ADDRESS_SIZE)
+            outputs.append(TxOutput(value=value, address=address))
+        payload_len = struct.unpack(">I", take(4))[0]
+        payload = take(payload_len)
+        if offset != len(raw):
+            raise ValidationError("trailing bytes after transaction encoding")
+        return cls(
+            inputs=tuple(inputs),
+            outputs=tuple(outputs),
+            payload=payload,
+            lock_height=lock_height,
+        )
+
+
+def make_coinbase(
+    reward: int, miner_address: bytes, height: int, extra: bytes = b""
+) -> Transaction:
+    """Build the coinbase transaction for a block at ``height``.
+
+    The height is folded into ``lock_height`` so coinbases of different
+    blocks never collide on txid (BIP34-style uniqueness).
+    """
+    return Transaction(
+        inputs=(),
+        outputs=(TxOutput(value=reward, address=miner_address),),
+        payload=extra,
+        lock_height=height,
+    )
+
+
+def make_signed_transfer(
+    sender: KeyPair,
+    spendable: Sequence[tuple[OutPoint, int]],
+    recipient_address: bytes,
+    amount: int,
+    fee: int = 0,
+    payload: bytes = b"",
+    lock_height: int = 0,
+) -> Transaction:
+    """Build and sign a transfer spending ``spendable`` outpoints.
+
+    Args:
+        sender: key pair that owns every outpoint in ``spendable``.
+        spendable: ``(outpoint, value)`` pairs available to spend, consumed
+            front-to-back until ``amount + fee`` is covered.
+        recipient_address: where the payment goes.
+        amount: value to transfer; change returns to the sender.
+        fee: value deliberately left unclaimed for the block proposer.
+
+    Raises:
+        ValidationError: if the spendable outputs cannot cover
+            ``amount + fee``.
+    """
+    if amount <= 0:
+        raise ValidationError("transfer amount must be positive")
+    if fee < 0:
+        raise ValidationError("fee must be non-negative")
+    needed = amount + fee
+    selected: list[tuple[OutPoint, int]] = []
+    total = 0
+    for outpoint, value in spendable:
+        selected.append((outpoint, value))
+        total += value
+        if total >= needed:
+            break
+    if total < needed:
+        raise ValidationError(
+            f"insufficient funds: have {total}, need {needed}"
+        )
+    outputs = [TxOutput(value=amount, address=recipient_address)]
+    change = total - needed
+    if change > 0:
+        outputs.append(TxOutput(value=change, address=sender.address))
+
+    unsigned = Transaction(
+        inputs=tuple(
+            TxInput(outpoint=outpoint) for outpoint, _ in selected
+        ),
+        outputs=tuple(outputs),
+        payload=payload,
+        lock_height=lock_height,
+    )
+    signature = sign(sender, unsigned.signing_digest)
+    signed_inputs = tuple(
+        TxInput(
+            outpoint=outpoint,
+            public_key=sender.public_key,
+            signature=signature,
+        )
+        for outpoint, _ in selected
+    )
+    return Transaction(
+        inputs=signed_inputs,
+        outputs=tuple(outputs),
+        payload=payload,
+        lock_height=lock_height,
+    )
+
+
+#: Approximate size of a 1-in/2-out signed transfer, for sizing workloads.
+TYPICAL_TRANSFER_SIZE = (
+    4 + 2 + (36 + 2 + PUBLIC_KEY_SIZE + SIGNATURE_SIZE) + 2 + 2 * 28 + 4
+)

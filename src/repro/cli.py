@@ -1,0 +1,252 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``run``      — deploy one strategy, stream blocks, print reports.
+* ``compare``  — identical block stream through all three strategies.
+* ``join``     — bootstrap-cost demo: grow a network by one node.
+* ``experiments`` — list the reproduced experiments and their benches.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis.tables import format_bytes, format_seconds, render_table
+from repro.sim.runner import ScenarioRunner
+from repro.sim.scenario import BENCH_LIMITS, Scenario, build_deployment
+
+_EXPERIMENTS = [
+    ("E1", "per-node storage growth", "bench_e1_storage_growth.py"),
+    ("E2", "25% of RapidChain storage", "bench_e2_rapidchain_ratio.py"),
+    ("E3", "storage vs cluster size (1/m)", "bench_e3_cluster_size_sweep.py"),
+    ("E4", "communication per block", "bench_e4_communication.py"),
+    ("E5", "bootstrap overhead", "bench_e5_bootstrap.py"),
+    ("E6", "verification latency", "bench_e6_verification_latency.py"),
+    ("E7", "availability vs replication", "bench_e7_availability.py"),
+    ("E8", "throughput parity", "bench_e8_throughput.py"),
+    ("E9", "placement ablation", "bench_e9_placement_ablation.py"),
+    ("E10", "clustering ablation", "bench_e10_clustering_ablation.py"),
+    ("E11", "parity vs replication", "bench_e11_parity_ablation.py"),
+    ("E12", "churn endurance", "bench_e12_churn_endurance.py"),
+    ("E13", "SPV proof service", "bench_e13_spv_service.py"),
+    ("E14", "compact-block dissemination", "bench_e14_compact_blocks.py"),
+    ("E15", "Vivaldi clustering", "bench_e15_vivaldi_clustering.py"),
+    ("E16", "Byzantine tolerance", "bench_e16_byzantine_tolerance.py"),
+    ("E17", "per-node cost scalability", "bench_e17_scalability.py"),
+]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse command tree for ``python -m repro``."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ICIStrategy reproduction (ICDCS 2020)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="deploy one strategy and stream blocks")
+    _common_args(run)
+    run.add_argument(
+        "--strategy",
+        choices=("ici", "full", "rapidchain"),
+        default="ici",
+    )
+    run.add_argument(
+        "--replication", type=int, default=1, help="ICI replicas per block"
+    )
+    run.add_argument(
+        "--relay",
+        action="store_true",
+        help="relay transactions by gossip and build blocks from mempools "
+        "(ICI only)",
+    )
+    run.add_argument(
+        "--report",
+        metavar="FILE",
+        help="write a full markdown deployment report to FILE",
+    )
+
+    compare = sub.add_parser(
+        "compare", help="same block stream through all strategies"
+    )
+    _common_args(compare)
+
+    join = sub.add_parser("join", help="bootstrap-cost demo")
+    _common_args(join)
+    join.add_argument(
+        "--strategy",
+        choices=("ici", "full", "rapidchain"),
+        default="ici",
+    )
+
+    sub.add_parser("experiments", help="list reproduced experiments")
+    return parser
+
+
+def _common_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--nodes", type=int, default=40)
+    parser.add_argument(
+        "--groups", type=int, default=5, help="clusters / committees"
+    )
+    parser.add_argument("--blocks", type=int, default=10)
+    parser.add_argument("--txs", type=int, default=8, help="txs per block")
+    parser.add_argument(
+        "--latency",
+        choices=("constant", "uniform", "regions"),
+        default="uniform",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _deploy(args: argparse.Namespace, strategy: str):
+    scenario = Scenario(
+        strategy=strategy,
+        n_nodes=args.nodes,
+        n_groups=args.groups,
+        replication=getattr(args, "replication", 1),
+        latency=args.latency,
+        seed=args.seed,
+    )
+    return build_deployment(scenario)
+
+
+def _summary_rows(deployment, report) -> list[tuple]:
+    storage = deployment.storage_report()
+    return [
+        ("blocks produced", report.blocks_produced),
+        ("transactions", report.transactions_produced),
+        ("mean bytes/node", format_bytes(storage.mean_node_bytes)),
+        ("max bytes/node", format_bytes(storage.max_node_bytes)),
+        ("network storage", format_bytes(storage.total_bytes)),
+        (
+            "traffic total",
+            format_bytes(deployment.network.traffic.total_bytes),
+        ),
+        ("messages", deployment.network.traffic.total_messages),
+    ]
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    """``run``: deploy one strategy and stream blocks."""
+    deployment = _deploy(args, args.strategy)
+    runner = ScenarioRunner(deployment, limits=BENCH_LIMITS)
+    if args.relay:
+        if not hasattr(deployment, "submit_transaction"):
+            print("--relay requires the ici strategy", file=sys.stderr)
+            return 2
+        report = runner.produce_blocks_via_relay(
+            args.blocks, txs_per_block=args.txs
+        )
+    else:
+        report = runner.produce_blocks(args.blocks, txs_per_block=args.txs)
+    rows = _summary_rows(deployment, report)
+    finalized = getattr(deployment, "total_finalized_blocks", None)
+    if finalized is not None:
+        rows.append(("blocks finalized everywhere", finalized()))
+    print(
+        render_table(
+            ["quantity", "value"],
+            rows,
+            title=(
+                f"{args.strategy} / N={args.nodes} / groups={args.groups}"
+            ),
+        )
+    )
+    if args.report:
+        from repro.analysis.report import write_deployment_report
+
+        with open(args.report, "w", encoding="utf-8") as stream:
+            write_deployment_report(
+                deployment,
+                stream,
+                title=f"{args.strategy} deployment report",
+            )
+        print(f"report written to {args.report}")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    """``compare``: identical stream through every strategy."""
+    rows = []
+    for strategy in ("full", "rapidchain", "ici"):
+        deployment = _deploy(args, strategy)
+        runner = ScenarioRunner(deployment, limits=BENCH_LIMITS)
+        report = runner.produce_blocks(args.blocks, txs_per_block=args.txs)
+        storage = deployment.storage_report()
+        rows.append(
+            (
+                strategy,
+                format_bytes(storage.mean_node_bytes),
+                format_bytes(storage.total_bytes),
+                format_bytes(deployment.network.traffic.total_bytes),
+            )
+        )
+    print(
+        render_table(
+            ["strategy", "bytes/node", "network total", "traffic"],
+            rows,
+            title=(
+                f"Identical {args.blocks}-block stream "
+                f"(N={args.nodes}, groups={args.groups})"
+            ),
+        )
+    )
+    return 0
+
+
+def cmd_join(args: argparse.Namespace) -> int:
+    """``join``: bootstrap-cost demo."""
+    deployment = _deploy(args, args.strategy)
+    runner = ScenarioRunner(deployment, limits=BENCH_LIMITS)
+    runner.produce_blocks(args.blocks, txs_per_block=args.txs)
+    join = deployment.join_new_node()
+    deployment.run()
+    if not join.complete:
+        print("bootstrap did not complete", file=sys.stderr)
+        return 1
+    print(
+        render_table(
+            ["quantity", "value"],
+            [
+                ("strategy", args.strategy),
+                ("headers", format_bytes(join.header_bytes)),
+                ("bodies", format_bytes(join.body_bytes)),
+                ("total download", format_bytes(join.total_bytes)),
+                ("bodies fetched", join.bodies_fetched),
+                ("sync time", format_seconds(join.duration)),
+            ],
+            title=f"Join after {args.blocks} blocks (N={args.nodes})",
+        )
+    )
+    return 0
+
+
+def cmd_experiments(_args: argparse.Namespace) -> int:
+    """``experiments``: list the reproduced experiments."""
+    print(
+        render_table(
+            ["id", "reproduces", "bench"],
+            _EXPERIMENTS,
+            title="Reconstructed experiments (see DESIGN.md, EXPERIMENTS.md)",
+        )
+    )
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "run": cmd_run,
+        "compare": cmd_compare,
+        "join": cmd_join,
+        "experiments": cmd_experiments,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,37 @@
+"""Clustering: formation algorithms, membership tables, coordinates."""
+
+from repro.clustering.algorithms import (
+    ClusteringAlgorithm,
+    KMeansClustering,
+    LatencyAwareGreedyClustering,
+    RandomBalancedClustering,
+    clusters_for_target_size,
+)
+from repro.clustering.coordinates import (
+    Coordinate,
+    centroid,
+    distance,
+    mean_pairwise_distance,
+    place_regions,
+    place_uniform,
+)
+from repro.clustering.membership import ClusterTable, ClusterView
+from repro.clustering.vivaldi import VivaldiEstimator, embedding_quality
+
+__all__ = [
+    "ClusteringAlgorithm",
+    "KMeansClustering",
+    "LatencyAwareGreedyClustering",
+    "RandomBalancedClustering",
+    "clusters_for_target_size",
+    "Coordinate",
+    "centroid",
+    "distance",
+    "mean_pairwise_distance",
+    "place_regions",
+    "place_uniform",
+    "ClusterTable",
+    "ClusterView",
+    "VivaldiEstimator",
+    "embedding_quality",
+]

@@ -1,0 +1,21 @@
+"""Consensus: proposer scheduling and intra-cluster PBFT-style verification."""
+
+from repro.consensus.pbft import RoundPhase, VerificationRound
+from repro.consensus.proposer import BlockProposer, ProposerSchedule
+from repro.consensus.quorum import (
+    Vote,
+    VoteTally,
+    byzantine_quorum,
+    max_byzantine_tolerated,
+)
+
+__all__ = [
+    "RoundPhase",
+    "VerificationRound",
+    "BlockProposer",
+    "ProposerSchedule",
+    "Vote",
+    "VoteTally",
+    "byzantine_quorum",
+    "max_byzantine_tolerated",
+]

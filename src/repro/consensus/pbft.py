@@ -1,0 +1,157 @@
+"""Intra-cluster collaborative verification state machine.
+
+The PBFT-flavoured protocol ICIStrategy runs inside each cluster when a new
+block arrives:
+
+1. **Prepare** — the block's assigned *holders* fully validate the body
+   (signatures, Merkle commitment, stateful checks) and broadcast a signed
+   PREPARE attestation (accept/reject) to all cluster members.
+2. **Commit** — every member checks the header chain linkage plus the
+   holders' attestations; once a majority of holders attest accept, the
+   member broadcasts COMMIT.
+3. **Decide** — a member finalizes the block when it has collected a
+   Byzantine quorum (``⌊2m/3⌋+1``) of COMMITs.
+
+The state machine here is *pure*: callers feed events in and get decisions
+out; all networking lives in :mod:`repro.core.verification`.  That split
+keeps the protocol unit-testable without a simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.consensus.quorum import Vote, VoteTally, byzantine_quorum
+from repro.errors import ConsensusError
+
+
+class RoundPhase(Enum):
+    """Lifecycle of one block's verification inside a cluster."""
+
+    AWAITING_PREPARES = "awaiting_prepares"
+    AWAITING_COMMITS = "awaiting_commits"
+    ACCEPTED = "accepted"
+    REJECTED = "rejected"
+
+
+@dataclass
+class VerificationRound:
+    """Per-member view of one block's intra-cluster verification.
+
+    Each cluster member runs its own round instance; instances exchange
+    PREPARE/COMMIT events through the messaging layer.
+
+    Attributes:
+        block_hash: the block under verification.
+        members: cluster membership (including this member).
+        holders: the placement-assigned body holders.
+        member_id: the member whose view this is.
+    """
+
+    block_hash: bytes
+    members: tuple[int, ...]
+    holders: tuple[int, ...]
+    member_id: int
+    phase: RoundPhase = RoundPhase.AWAITING_PREPARES
+    prepare_votes: dict[int, Vote] = field(default_factory=dict)
+    commit_tally: VoteTally = field(init=False)
+    sent_commit: bool = False
+    decided_at: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.member_id not in self.members:
+            raise ConsensusError("round owner must be a cluster member")
+        if not set(self.holders) <= set(self.members):
+            raise ConsensusError("holders must be cluster members")
+        if not self.holders:
+            raise ConsensusError("a block must have at least one holder")
+        self.commit_tally = VoteTally(cluster_size=len(self.members))
+
+    # ------------------------------------------------------------ thresholds
+    @property
+    def prepare_quorum(self) -> int:
+        """Holder attestations needed before members commit: majority."""
+        return len(self.holders) // 2 + 1
+
+    @property
+    def commit_quorum(self) -> int:
+        """Commits needed to decide: the Byzantine quorum."""
+        return byzantine_quorum(len(self.members))
+
+    # --------------------------------------------------------------- events
+    def on_prepare(self, holder: int, vote: Vote) -> bool:
+        """Record a holder's PREPARE; returns ``True`` when this member
+        should now broadcast its COMMIT (transition to the commit phase).
+
+        Non-holders' prepares are ignored; duplicate prepares keep the
+        first verdict.
+        """
+        if self.phase in (RoundPhase.ACCEPTED, RoundPhase.REJECTED):
+            return False
+        if holder not in self.holders:
+            return False
+        self.prepare_votes.setdefault(holder, vote)
+        return self._maybe_enter_commit()
+
+    def _maybe_enter_commit(self) -> bool:
+        if self.phase is not RoundPhase.AWAITING_PREPARES or self.sent_commit:
+            return False
+        accepts = sum(
+            1 for v in self.prepare_votes.values() if v is Vote.ACCEPT
+        )
+        rejects = sum(
+            1 for v in self.prepare_votes.values() if v is Vote.REJECT
+        )
+        if accepts >= self.prepare_quorum:
+            self.phase = RoundPhase.AWAITING_COMMITS
+            self.sent_commit = True
+            self._pending_commit = Vote.ACCEPT
+            return True
+        if rejects >= self.prepare_quorum:
+            self.phase = RoundPhase.AWAITING_COMMITS
+            self.sent_commit = True
+            self._pending_commit = Vote.REJECT
+            return True
+        return False
+
+    @property
+    def my_commit_vote(self) -> Vote:
+        """The COMMIT this member should broadcast (valid after the prepare
+        quorum fired).
+
+        Raises:
+            ConsensusError: when queried before the commit phase.
+        """
+        vote = getattr(self, "_pending_commit", None)
+        if vote is None:
+            raise ConsensusError("commit vote not yet determined")
+        return vote
+
+    def on_commit(self, member: int, vote: Vote, now: float = 0.0) -> bool:
+        """Record a member's COMMIT; returns ``True`` at the decision edge."""
+        if self.phase in (RoundPhase.ACCEPTED, RoundPhase.REJECTED):
+            return False
+        if member not in self.members:
+            return False
+        self.commit_tally.record(member, vote)
+        if self.commit_tally.accepted:
+            self.phase = RoundPhase.ACCEPTED
+            self.decided_at = now
+            return True
+        if self.commit_tally.rejected:
+            self.phase = RoundPhase.REJECTED
+            self.decided_at = now
+            return True
+        return False
+
+    # -------------------------------------------------------------- queries
+    @property
+    def decided(self) -> bool:
+        """Has this round reached a verdict?"""
+        return self.phase in (RoundPhase.ACCEPTED, RoundPhase.REJECTED)
+
+    @property
+    def accepted(self) -> bool:
+        """Did this round accept the block?"""
+        return self.phase is RoundPhase.ACCEPTED

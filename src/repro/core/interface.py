@@ -1,0 +1,81 @@
+"""The deployment interface every storage strategy implements.
+
+A *deployment* owns a population of nodes on one simulated network and
+implements how blocks reach stable storage.  The experiment harness only
+talks to this interface, so ICIStrategy and the baselines are drop-in
+interchangeable in every bench.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.chain.block import Block
+from repro.core.metrics import BootstrapReport, DeploymentMetrics, QueryRecord
+from repro.crypto.hashing import Hash32
+from repro.net.network import Network
+from repro.storage.accounting import NetworkStorageReport, report_network
+
+
+class StorageDeployment(ABC):
+    """Base class for strategy deployments.
+
+    Subclasses populate :attr:`nodes` (``node_id -> BaseNode``-ish objects
+    exposing ``.store``) during construction and implement dissemination,
+    retrieval, and bootstrap.
+    """
+
+    def __init__(self, network: Network) -> None:
+        self.network = network
+        self.metrics = DeploymentMetrics()
+        self.nodes: dict[int, object] = {}
+
+    # ----------------------------------------------------------- lifecycle
+    @abstractmethod
+    def disseminate(self, block: Block, proposer_id: int) -> None:
+        """Inject a freshly-sealed block at its proposer.
+
+        Schedules all relay/verification traffic; callers drive the clock
+        (``run`` / ``run_for``) to completion.
+        """
+
+    @abstractmethod
+    def retrieve_block(
+        self, requester_id: int, block_hash: Hash32
+    ) -> QueryRecord:
+        """Start an asynchronous block-body retrieval for a node.
+
+        Returns the live :class:`QueryRecord`; its ``completed_at`` fills
+        in once the simulated response arrives.
+        """
+
+    @abstractmethod
+    def join_new_node(self) -> BootstrapReport:
+        """Bootstrap a brand-new participant.
+
+        Returns the live :class:`BootstrapReport`; drive the clock until
+        ``report.complete``.
+        """
+
+    # ------------------------------------------------------------- common
+    def run(self) -> None:
+        """Drain all pending simulated events."""
+        self.network.run()
+
+    def run_for(self, seconds: float) -> None:
+        """Advance virtual time by ``seconds``."""
+        self.network.run_for(seconds)
+
+    def storage_report(self) -> NetworkStorageReport:
+        """Per-node and aggregate ledger bytes right now."""
+        return report_network(
+            {
+                node_id: node.store  # type: ignore[attr-defined]
+                for node_id, node in self.nodes.items()
+            }
+        )
+
+    @property
+    def node_count(self) -> int:
+        """Number of deployed nodes."""
+        return len(self.nodes)

@@ -1,0 +1,170 @@
+"""Deployment-level metrics shared by ICIStrategy and the baselines."""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+
+from repro.core.verification import VerificationCosts
+from repro.crypto.hashing import Hash32
+
+
+@dataclass
+class QueryRecord:
+    """One block-retrieval request's lifecycle."""
+
+    request_id: int
+    requester: int
+    block_hash: Hash32
+    started_at: float
+    completed_at: float | None = None
+    attempts: int = 1
+
+    @property
+    def latency(self) -> float | None:
+        """Seconds from request to body delivery (``None`` while pending)."""
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.started_at
+
+
+@dataclass
+class BootstrapReport:
+    """What one joining node cost."""
+
+    node_id: int
+    cluster_id: int
+    started_at: float
+    completed_at: float | None = None
+    header_bytes: int = 0
+    body_bytes: int = 0
+    snapshot_bytes: int = 0
+    bodies_fetched: int = 0
+    migration_bytes_freed: int = 0
+    #: Assigned bodies no live source could serve (pre-existing data
+    #: loss in the cluster, e.g. an r=1 crash before this join).
+    bodies_unavailable: list[Hash32] = field(default_factory=list)
+
+    @property
+    def total_bytes(self) -> int:
+        """Everything the joiner downloaded."""
+        return self.header_bytes + self.body_bytes + self.snapshot_bytes
+
+    @property
+    def duration(self) -> float | None:
+        """Seconds from start to completion (``None`` while pending)."""
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.started_at
+
+    @property
+    def complete(self) -> bool:
+        """Has this operation finished?"""
+        return self.completed_at is not None
+
+
+@dataclass
+class DepartureReport:
+    """What retiring (or losing) one member cost the cluster."""
+
+    node_id: int
+    cluster_id: int
+    started_at: float
+    graceful: bool
+    completed_at: float | None = None
+    blocks_transferred: int = 0
+    bytes_moved: int = 0
+    lost_blocks: list[Hash32] = field(default_factory=list)
+
+    @property
+    def duration(self) -> float | None:
+        """Seconds from start to completion (``None`` while pending)."""
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.started_at
+
+    @property
+    def complete(self) -> bool:
+        """Has this operation finished?"""
+        return self.completed_at is not None
+
+
+@dataclass
+class DeploymentMetrics:
+    """Everything a deployment records while blocks flow through it."""
+
+    block_submitted_at: dict[Hash32, float] = field(default_factory=dict)
+    cluster_finalized_at: dict[tuple[Hash32, int], float] = field(
+        default_factory=dict
+    )
+    node_finalized_at: dict[tuple[Hash32, int], float] = field(
+        default_factory=dict
+    )
+    costs: VerificationCosts = field(default_factory=VerificationCosts)
+    queries: list[QueryRecord] = field(default_factory=list)
+    bootstraps: list[BootstrapReport] = field(default_factory=list)
+    departures: list[DepartureReport] = field(default_factory=list)
+    blocks_rejected: set[Hash32] = field(default_factory=set)
+
+    # -------------------------------------------------------------- record
+    def record_submit(self, block_hash: Hash32, now: float) -> None:
+        """Record when a block was injected (first write wins)."""
+        self.block_submitted_at.setdefault(block_hash, now)
+
+    def record_cluster_final(
+        self, block_hash: Hash32, cluster_id: int, now: float
+    ) -> None:
+        """Record a cluster's finalization time (first write wins)."""
+        self.cluster_finalized_at.setdefault((block_hash, cluster_id), now)
+
+    def record_node_final(
+        self, block_hash: Hash32, node_id: int, now: float
+    ) -> None:
+        """Record a node's finalization time (first write wins)."""
+        self.node_finalized_at.setdefault((block_hash, node_id), now)
+
+    # ------------------------------------------------------------- derived
+    def finalize_latency(
+        self, block_hash: Hash32, n_clusters: int
+    ) -> float | None:
+        """Submit→last-cluster-finalized latency; ``None`` if incomplete."""
+        submitted = self.block_submitted_at.get(block_hash)
+        if submitted is None:
+            return None
+        times = [
+            t
+            for (bh, _), t in self.cluster_finalized_at.items()
+            if bh == block_hash
+        ]
+        if len(times) < n_clusters:
+            return None
+        return max(times) - submitted
+
+    def first_cluster_latency(self, block_hash: Hash32) -> float | None:
+        """Submit→first-cluster-finalized latency."""
+        submitted = self.block_submitted_at.get(block_hash)
+        if submitted is None:
+            return None
+        times = [
+            t
+            for (bh, _), t in self.cluster_finalized_at.items()
+            if bh == block_hash
+        ]
+        if not times:
+            return None
+        return min(times) - submitted
+
+    def completed_query_latencies(self) -> list[float]:
+        """Latencies of every completed retrieval."""
+        return [
+            record.latency
+            for record in self.queries
+            if record.latency is not None
+        ]
+
+    def mean_query_latency(self) -> float | None:
+        """Mean completed-retrieval latency (``None`` when none)."""
+        latencies = self.completed_query_latencies()
+        if not latencies:
+            return None
+        return statistics.fmean(latencies)

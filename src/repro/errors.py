@@ -1,0 +1,89 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every exception raised by the library derives from :class:`ReproError`, so
+callers can catch one base class at an API boundary.  Subsystems define
+narrower classes below; modules never raise bare ``Exception`` or
+``ValueError`` for domain failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A scenario, strategy, or component was configured inconsistently."""
+
+
+class CryptoError(ReproError):
+    """Base class for failures in the crypto substrate."""
+
+
+class SignatureError(CryptoError):
+    """A signature failed to verify or could not be produced."""
+
+
+class MerkleError(CryptoError):
+    """A Merkle tree or proof was malformed or failed verification."""
+
+
+class ChainError(ReproError):
+    """Base class for ledger-level failures."""
+
+
+class ValidationError(ChainError):
+    """A transaction or block violated a consensus rule."""
+
+
+class UnknownBlockError(ChainError):
+    """A block hash was requested that the store does not know."""
+
+
+class UnknownTransactionError(ChainError):
+    """A transaction id was requested that is not known."""
+
+
+class ForkError(ChainError):
+    """A chain reorganization could not be performed."""
+
+
+class NetworkError(ReproError):
+    """Base class for simulated-network failures."""
+
+
+class UnknownNodeError(NetworkError):
+    """A message was addressed to a node id not registered on the network."""
+
+
+class NodeOfflineError(NetworkError):
+    """A synchronous operation targeted a node that is offline."""
+
+
+class ClusteringError(ReproError):
+    """Cluster formation or membership maintenance failed."""
+
+
+class StorageError(ReproError):
+    """Base class for storage-engine failures."""
+
+
+class BlockNotStoredError(StorageError):
+    """A node was asked for a block body it does not hold locally."""
+
+
+class PlacementError(StorageError):
+    """A placement policy could not assign a block to holders."""
+
+
+class ConsensusError(ReproError):
+    """Intra-cluster verification / consensus failed to reach quorum."""
+
+
+class BootstrapError(ReproError):
+    """A joining node could not complete its synchronization."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""

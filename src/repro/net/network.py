@@ -1,0 +1,145 @@
+"""The simulated network: node registry, delivery, failures.
+
+:class:`Network` binds the virtual clock, a latency model, a topology, and a
+traffic ledger.  Endpoints (anything implementing :class:`Endpoint`)
+register under integer node ids; ``send`` schedules delivery after
+propagation + transmission delay.  Nodes can be taken offline (crash) and
+brought back, which the availability experiments (E7) and churn workloads
+drive.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from repro.errors import UnknownNodeError
+from repro.net.latency import DEFAULT_BANDWIDTH_BPS, ConstantLatency, LatencyModel
+from repro.net.message import Message
+from repro.net.simclock import SimClock
+from repro.net.topology import Topology
+from repro.net.traffic import TrafficLedger
+
+
+class Endpoint(Protocol):
+    """Anything that can receive simulated messages."""
+
+    def handle_message(self, message: Message) -> None:
+        """Process a delivered message (called at delivery time)."""
+
+
+class Network:
+    """The message fabric every node in a scenario is attached to.
+
+    Delivery semantics:
+      * messages to offline recipients are silently dropped (crash model);
+      * messages *from* offline senders are also dropped — a crashed node's
+        already-scheduled sends do not happen;
+      * self-sends are delivered with zero delay (still via the scheduler so
+        handler re-entrancy is avoided).
+    """
+
+    def __init__(
+        self,
+        clock: SimClock | None = None,
+        latency: LatencyModel | None = None,
+        topology: Topology | None = None,
+        bandwidth_bps: float = DEFAULT_BANDWIDTH_BPS,
+    ) -> None:
+        self.clock = clock or SimClock()
+        self.latency = latency or ConstantLatency()
+        self.bandwidth_bps = bandwidth_bps
+        self.traffic = TrafficLedger()
+        self._endpoints: dict[int, Endpoint] = {}
+        self._online: dict[int, bool] = {}
+        self._topology: dict[int, tuple[int, ...]] = (
+            dict(topology) if topology else {}
+        )
+        self._dropped_messages = 0
+
+    # ------------------------------------------------------------- registry
+    def register(self, node_id: int, endpoint: Endpoint) -> None:
+        """Attach an endpoint under ``node_id`` (initially online)."""
+        self._endpoints[node_id] = endpoint
+        self._online[node_id] = True
+        self._topology.setdefault(node_id, ())
+
+    def unregister(self, node_id: int) -> None:
+        """Detach a node entirely (permanent departure)."""
+        self._endpoints.pop(node_id, None)
+        self._online.pop(node_id, None)
+
+    def set_topology(self, topology: Topology) -> None:
+        """Replace the peer graph (e.g., after re-clustering)."""
+        self._topology = dict(topology)
+
+    def peers_of(self, node_id: int) -> tuple[int, ...]:
+        """The node's peer list in the current topology."""
+        try:
+            return self._topology[node_id]
+        except KeyError:
+            raise UnknownNodeError(f"node {node_id} not in topology") from None
+
+    @property
+    def node_ids(self) -> list[int]:
+        """All registered node ids, sorted."""
+        return sorted(self._endpoints)
+
+    @property
+    def dropped_messages(self) -> int:
+        """Messages lost to offline senders/recipients."""
+        return self._dropped_messages
+
+    # ------------------------------------------------------------- liveness
+    def is_online(self, node_id: int) -> bool:
+        """Is the node currently reachable?"""
+        return self._online.get(node_id, False)
+
+    def set_online(self, node_id: int, online: bool) -> None:
+        """Crash (``False``) or recover (``True``) a node.
+
+        Raises:
+            UnknownNodeError: for unregistered ids.
+        """
+        if node_id not in self._endpoints:
+            raise UnknownNodeError(f"node {node_id} is not registered")
+        self._online[node_id] = online
+
+    def online_count(self) -> int:
+        """How many registered nodes are online."""
+        return sum(1 for online in self._online.values() if online)
+
+    # ------------------------------------------------------------- delivery
+    def send(self, message: Message) -> None:
+        """Schedule delivery of ``message`` (drops if sender is offline now)."""
+        if not self._online.get(message.sender, False):
+            self._dropped_messages += 1
+            return
+        delay = self.latency.total_delay(
+            message.sender,
+            message.recipient,
+            message.size_bytes,
+            self.bandwidth_bps,
+        )
+        self.clock.schedule(delay, lambda: self._deliver(message))
+
+    def _deliver(self, message: Message) -> None:
+        endpoint = self._endpoints.get(message.recipient)
+        if endpoint is None or not self._online.get(message.recipient, False):
+            self._dropped_messages += 1
+            return
+        self.traffic.record(message)
+        endpoint.handle_message(message)
+
+    # ------------------------------------------------------------ execution
+    def run(self) -> None:
+        """Drain every pending event (delegates to the clock)."""
+        self.clock.run()
+
+    def run_for(self, seconds: float) -> None:
+        """Advance virtual time by ``seconds``."""
+        self.clock.run_for(seconds)
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self.clock.now

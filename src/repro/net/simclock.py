@@ -1,0 +1,155 @@
+"""Discrete-event simulation core: virtual clock and event queue.
+
+Everything time-dependent in the library runs on this scheduler.  Events are
+``(time, sequence, callback)`` triples in a binary heap; the sequence number
+makes ordering deterministic when times tie, which keeps every experiment
+bit-reproducible under a fixed seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import SimulationError
+
+EventCallback = Callable[[], None]
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    time: float
+    sequence: int
+    callback: EventCallback = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventHandle:
+    """A cancellation handle for a scheduled event."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: _ScheduledEvent) -> None:
+        self._event = event
+
+    def cancel(self) -> bool:
+        """Cancel the event; returns ``False`` when already run/cancelled."""
+        if self._event.cancelled:
+            return False
+        self._event.cancelled = True
+        return True
+
+    @property
+    def time(self) -> float:
+        """The virtual time the event is (was) scheduled for."""
+        return self._event.time
+
+    @property
+    def cancelled(self) -> bool:
+        """Was this event cancelled?"""
+        return self._event.cancelled
+
+
+class SimClock:
+    """The virtual clock plus its pending-event heap.
+
+    The clock only moves when :meth:`run` (or :meth:`run_until`) pops
+    events; callbacks scheduled *at the current time* run in scheduling
+    order.  A hard event-count limit guards against runaway feedback loops
+    in buggy protocols.
+    """
+
+    def __init__(self, max_events: int = 50_000_000) -> None:
+        self._now = 0.0
+        self._heap: list[_ScheduledEvent] = []
+        self._sequence = itertools.count()
+        self._max_events = max_events
+        self._processed = 0
+
+    # -------------------------------------------------------------- queries
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Number of not-yet-cancelled events still queued."""
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    @property
+    def processed(self) -> int:
+        """Total events executed so far."""
+        return self._processed
+
+    # ----------------------------------------------------------- scheduling
+    def schedule(self, delay: float, callback: EventCallback) -> EventHandle:
+        """Run ``callback`` at ``now + delay`` virtual seconds.
+
+        Raises:
+            SimulationError: for negative delays.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past ({delay=})")
+        return self.schedule_at(self._now + delay, callback)
+
+    def schedule_at(self, time: float, callback: EventCallback) -> EventHandle:
+        """Run ``callback`` at absolute virtual ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time} before now={self._now}"
+            )
+        event = _ScheduledEvent(
+            time=time, sequence=next(self._sequence), callback=callback
+        )
+        heapq.heappush(self._heap, event)
+        return EventHandle(event)
+
+    # ------------------------------------------------------------ execution
+    def step(self) -> bool:
+        """Pop and run the next event; ``False`` when the queue is empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._processed += 1
+            if self._processed > self._max_events:
+                raise SimulationError(
+                    f"event budget exceeded ({self._max_events}); "
+                    "likely a protocol feedback loop"
+                )
+            event.callback()
+            return True
+        return False
+
+    def run(self) -> None:
+        """Drain the queue completely."""
+        while self.step():
+            pass
+
+    def run_until(self, time: float) -> None:
+        """Run every event scheduled strictly before or at ``time``.
+
+        The clock is advanced to exactly ``time`` afterwards, even when no
+        event lands on it.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot run backwards to {time} from {self._now}"
+            )
+        while self._heap:
+            head = self._heap[0]
+            if head.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if head.time > time:
+                break
+            self.step()
+        self._now = time
+
+    def run_for(self, duration: float) -> None:
+        """Run events for ``duration`` more virtual seconds."""
+        self.run_until(self._now + duration)

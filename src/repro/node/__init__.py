@@ -1,0 +1,15 @@
+"""Node runtime roles: base actor, full node, cluster node, light node."""
+
+from repro.node.base import BaseNode, Deployment, MessageHandler
+from repro.node.clusternode import ClusterNode
+from repro.node.fullnode import FullNode
+from repro.node.lightnode import LightNode
+
+__all__ = [
+    "BaseNode",
+    "Deployment",
+    "MessageHandler",
+    "ClusterNode",
+    "FullNode",
+    "LightNode",
+]

@@ -1,0 +1,54 @@
+"""Light (SPV) node: headers plus Merkle-proof transaction verification.
+
+The thin-client baseline.  A light node trusts the longest header chain and
+checks individual transactions against header Merkle roots using proofs
+served by full/cluster nodes.
+"""
+
+from __future__ import annotations
+
+from repro.chain.block import BlockHeader
+from repro.chain.transaction import Transaction
+from repro.crypto.merkle import MerkleProof
+from repro.errors import UnknownBlockError, ValidationError
+from repro.net.network import Network
+from repro.node.base import BaseNode
+
+
+class LightNode(BaseNode):
+    """Headers-only participant with SPV verification."""
+
+    def __init__(self, node_id: int, network: Network) -> None:
+        super().__init__(node_id, network, with_mempool=False)
+        self.verified_txids: set[bytes] = set()
+
+    def accept_header(self, header: BlockHeader) -> bool:
+        """Index a relayed header (parent-first)."""
+        return self.store.add_header(header)
+
+    def verify_transaction(
+        self,
+        tx: Transaction,
+        block_hash: bytes,
+        proof: MerkleProof,
+    ) -> bool:
+        """SPV check: is ``tx`` committed by the block's header?
+
+        Returns ``True`` and records the txid on success.
+
+        Raises:
+            UnknownBlockError: when we have not synced the header.
+            ValidationError: when the proof's leaf is not the transaction.
+        """
+        header = self.store.header(block_hash)  # raises UnknownBlockError
+        if proof.leaf != tx.txid:
+            raise ValidationError("proof leaf does not match transaction")
+        if not proof.verify(header.merkle_root):
+            return False
+        self.verified_txids.add(tx.txid)
+        return True
+
+    @property
+    def storage_bytes(self) -> int:
+        """A light node's footprint is its header index."""
+        return self.store.header_bytes

@@ -1,0 +1,35 @@
+"""Simulation harness: workloads, scenarios, churn, the experiment runner."""
+
+from repro.sim.churn import (
+    ChurnConfig,
+    ChurnDriver,
+    ChurnEvent,
+    ChurnKind,
+    ChurnOutcome,
+    make_schedule,
+)
+from repro.sim.runner import RunReport, ScenarioRunner
+from repro.sim.scenario import (
+    BENCH_LIMITS,
+    Scenario,
+    build_deployment,
+    build_network,
+)
+from repro.sim.workload import TransactionWorkload, WorkloadConfig
+
+__all__ = [
+    "ChurnConfig",
+    "ChurnDriver",
+    "ChurnEvent",
+    "ChurnKind",
+    "ChurnOutcome",
+    "make_schedule",
+    "RunReport",
+    "ScenarioRunner",
+    "BENCH_LIMITS",
+    "Scenario",
+    "build_deployment",
+    "build_network",
+    "TransactionWorkload",
+    "WorkloadConfig",
+]

@@ -1,0 +1,150 @@
+"""XOR parity groups — the erasure-coding extension.
+
+The paper stores ``r`` full replicas per block inside a cluster.  A natural
+extension (future-work territory; ablated in the extended benches) trades a
+replica for parity: group ``k`` block bodies, store one XOR parity chunk on
+an extra member, and any single lost body in the group is reconstructable
+from the ``k-1`` survivors plus parity.  Storage overhead drops from
+``r·D`` to ``(1 + 1/k)·D`` per cluster at the cost of read amplification
+during repair.
+
+Chunks are padded to the group's maximum body length; the original length
+is kept alongside so decoding strips padding exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.hashing import xor_bytes
+from repro.errors import StorageError
+
+
+@dataclass(frozen=True)
+class ParityGroup:
+    """One coding group: ``k`` data chunks protected by a parity chunk.
+
+    Attributes:
+        member_ids: identifiers (e.g. block hashes) of the data chunks, in
+            group order.
+        lengths: original byte length of each data chunk.
+        parity: XOR of the padded data chunks.
+    """
+
+    member_ids: tuple[bytes, ...]
+    lengths: tuple[int, ...]
+    parity: bytes
+
+    @property
+    def group_size(self) -> int:
+        """Number of data chunks in the group."""
+        return len(self.member_ids)
+
+    @property
+    def padded_length(self) -> int:
+        """Common padded chunk length in bytes."""
+        return len(self.parity)
+
+    @property
+    def parity_overhead_bytes(self) -> int:
+        """Extra bytes stored versus storing nothing (the parity chunk)."""
+        return len(self.parity)
+
+    def index_of(self, member_id: bytes) -> int:
+        """Position of a data chunk in the group.
+
+        Raises:
+            StorageError: when the id is not in this group.
+        """
+        try:
+            return self.member_ids.index(member_id)
+        except ValueError:
+            raise StorageError(
+                f"chunk {member_id.hex()[:12]}… not in parity group"
+            ) from None
+
+
+def _pad(chunk: bytes, length: int) -> bytes:
+    if len(chunk) > length:
+        raise StorageError("chunk longer than pad target")
+    return chunk + b"\x00" * (length - len(chunk))
+
+
+def encode_group(
+    chunks: list[tuple[bytes, bytes]],
+) -> ParityGroup:
+    """Build a parity group from ``(id, body)`` pairs.
+
+    Raises:
+        StorageError: for an empty group or duplicate ids.
+    """
+    if not chunks:
+        raise StorageError("parity group needs at least one chunk")
+    ids = [chunk_id for chunk_id, _ in chunks]
+    if len(set(ids)) != len(ids):
+        raise StorageError("duplicate chunk ids in parity group")
+    max_length = max(len(body) for _, body in chunks)
+    padded = [_pad(body, max_length) for _, body in chunks]
+    return ParityGroup(
+        member_ids=tuple(ids),
+        lengths=tuple(len(body) for _, body in chunks),
+        parity=xor_bytes(padded),
+    )
+
+
+def recover_chunk(
+    group: ParityGroup,
+    lost_id: bytes,
+    surviving: dict[bytes, bytes],
+) -> bytes:
+    """Reconstruct a single lost data chunk.
+
+    Args:
+        group: the parity group the chunk belongs to.
+        lost_id: id of the missing chunk.
+        surviving: bodies of **all other** group members, keyed by id.
+
+    Returns:
+        The original (un-padded) body of the lost chunk.
+
+    Raises:
+        StorageError: when more than one chunk is missing or a surviving
+            chunk has the wrong length.
+    """
+    lost_index = group.index_of(lost_id)
+    pieces = [group.parity]
+    for index, member_id in enumerate(group.member_ids):
+        if member_id == lost_id:
+            continue
+        body = surviving.get(member_id)
+        if body is None:
+            raise StorageError(
+                "XOR parity can recover exactly one lost chunk; "
+                f"chunk {member_id.hex()[:12]}… is also missing"
+            )
+        if len(body) != group.lengths[index]:
+            raise StorageError(
+                f"surviving chunk {member_id.hex()[:12]}… has wrong length"
+            )
+        pieces.append(_pad(body, group.padded_length))
+    recovered = xor_bytes(pieces)
+    return recovered[: group.lengths[lost_index]]
+
+
+def parity_storage_total(
+    n_nodes: int,
+    cluster_size: int,
+    group_size: int,
+    ledger_bytes: int,
+) -> float:
+    """Closed-form network storage with single parity per group.
+
+    Each cluster stores ``D`` of data once plus ``D/k`` parity:
+    total ``(N/g)·D·(1 + 1/k)``.
+    """
+    if group_size < 1:
+        raise StorageError("group size must be positive")
+    if cluster_size < 1 or cluster_size > n_nodes:
+        raise StorageError("cluster size must be in [1, n_nodes]")
+    n_clusters = n_nodes / cluster_size
+    return n_clusters * ledger_bytes * (1.0 + 1.0 / group_size)

@@ -1,0 +1,146 @@
+"""Tests for tables, ASCII plots, and summary statistics."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.plots import ascii_bars, ascii_series
+from repro.analysis.stats import (
+    geometric_mean,
+    percentile,
+    relative_error,
+    summarize,
+)
+from repro.analysis.tables import (
+    format_bytes,
+    format_seconds,
+    render_ratio_row,
+    render_table,
+)
+from repro.errors import ConfigurationError
+
+
+class TestFormatting:
+    @pytest.mark.parametrize(
+        "count,expected",
+        [
+            (0, "0.00 B"),
+            (512, "512.00 B"),
+            (2048, "2.00 KiB"),
+            (5 * 1024**2, "5.00 MiB"),
+            (3 * 1024**3, "3.00 GiB"),
+        ],
+    )
+    def test_format_bytes(self, count, expected):
+        assert format_bytes(count) == expected
+
+    def test_format_seconds(self):
+        assert format_seconds(0.0031) == "3.1 ms"
+        assert format_seconds(2.5) == "2.50 s"
+
+    def test_render_ratio_row(self):
+        label, value, percent = render_ratio_row("ici", 250.0, 1000.0)
+        assert label == "ici"
+        assert percent == "25.0%"
+
+
+class TestRenderTable:
+    def test_alignment_and_title(self):
+        text = render_table(
+            ["name", "count"],
+            [("alpha", 10), ("b", 2)],
+            title="Demo",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Demo"
+        assert "name" in lines[2]
+        # Numeric column right-aligned: 10 and 2 end at same offset.
+        assert lines[-1].rstrip().endswith("2")
+        assert lines[-2].rstrip().endswith("10")
+
+    def test_wide_cells_stretch_columns(self):
+        text = render_table(["h"], [("a-very-long-cell",)])
+        header_line = text.splitlines()[0]
+        assert len(header_line) >= len("a-very-long-cell")
+
+
+class TestAsciiPlots:
+    def test_series_renders_legend_and_axes(self):
+        text = ascii_series(
+            [1, 2, 3],
+            {"ici": [1, 2, 3], "full": [3, 6, 9]},
+            width=20,
+            height=6,
+            x_label="blocks",
+            y_label="bytes",
+        )
+        assert "legend" in text
+        assert "blocks" in text
+        assert "bytes" in text
+
+    def test_series_ragged_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ascii_series([1, 2], {"a": [1]})
+
+    def test_series_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ascii_series([], {})
+
+    def test_bars_scale_to_peak(self):
+        text = ascii_bars(["a", "b"], [1.0, 2.0], width=10)
+        lines = text.splitlines()
+        assert lines[1].count("#") == 10
+        assert lines[0].count("#") == 5
+
+    def test_bars_mismatched_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ascii_bars(["a"], [1.0, 2.0])
+
+    def test_constant_series_does_not_crash(self):
+        text = ascii_series([1, 2], {"flat": [5, 5]})
+        assert "flat" in text
+
+
+class TestStats:
+    def test_summarize(self):
+        summary = summarize([1, 2, 3, 4, 5])
+        assert summary.count == 5
+        assert summary.mean == 3.0
+        assert summary.median == 3.0
+        assert summary.minimum == 1
+        assert summary.maximum == 5
+        assert summary.p95 == pytest.approx(4.8)
+
+    def test_summarize_single(self):
+        summary = summarize([7.0])
+        assert summary.stdev == 0.0
+        assert summary.p95 == 7.0
+
+    def test_summarize_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            summarize([])
+
+    def test_percentile_interpolates(self):
+        assert percentile([0, 10], 50) == 5.0
+        assert percentile([1, 2, 3], 0) == 1.0
+        assert percentile([1, 2, 3], 100) == 3.0
+
+    def test_percentile_bounds(self):
+        with pytest.raises(ConfigurationError):
+            percentile([1], 101)
+        with pytest.raises(ConfigurationError):
+            percentile([], 50)
+
+    def test_relative_error(self):
+        assert relative_error(110, 100) == pytest.approx(0.1)
+        assert relative_error(0, 0) == 0.0
+        assert math.isinf(relative_error(1, 0))
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1, 4]) == pytest.approx(2.0)
+        with pytest.raises(ConfigurationError):
+            geometric_mean([])
+        with pytest.raises(ConfigurationError):
+            geometric_mean([1, 0])

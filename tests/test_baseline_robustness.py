@@ -1,0 +1,164 @@
+"""Robustness edge cases for the baseline deployments."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.full_replication import FullReplicationDeployment
+from repro.baselines.rapidchain import RapidChainDeployment
+from repro.crypto.hashing import sha256
+from repro.sim.runner import ScenarioRunner
+from tests.conftest import TEST_LIMITS
+
+
+def full(n=10, blocks=4):
+    deployment = FullReplicationDeployment(n, limits=TEST_LIMITS)
+    runner = ScenarioRunner(deployment, limits=TEST_LIMITS)
+    report = runner.produce_blocks(blocks, txs_per_block=3)
+    return deployment, report
+
+
+def rapid(n=12, k=3, blocks=4):
+    deployment = RapidChainDeployment(
+        n, n_committees=k, limits=TEST_LIMITS
+    )
+    runner = ScenarioRunner(deployment, limits=TEST_LIMITS)
+    report = runner.produce_blocks(blocks, txs_per_block=3)
+    return deployment, report
+
+
+class TestFullReplicationRobustness:
+    def test_offline_node_misses_block_but_others_converge(self):
+        deployment, _ = full()
+        deployment.network.set_online(7, False)
+        runner = ScenarioRunner(deployment, limits=TEST_LIMITS)
+        # Note: fresh runner restarts at height 1 — instead drive via the
+        # existing deployment by disseminating one extra block directly.
+        from repro.chain.block import build_block
+        from repro.chain.transaction import make_coinbase
+
+        tip = deployment.nodes[0].ledger.tip
+        block = build_block(
+            height=tip.height + 1,
+            prev_hash=tip.block_hash,
+            transactions=[
+                make_coinbase(
+                    TEST_LIMITS.block_reward, b"\x01" * 20, tip.height + 1
+                )
+            ],
+            timestamp=tip.timestamp + 1,
+        )
+        deployment.disseminate(block, proposer_id=0)
+        deployment.run()
+        online_heights = {
+            node.ledger.height
+            for node_id, node in deployment.nodes.items()
+            if node_id != 7
+        }
+        assert online_heights == {tip.height + 1}
+        assert deployment.nodes[7].ledger.height == tip.height
+
+    def test_query_for_unknown_block_stays_pending(self):
+        deployment, _ = full()
+        record = deployment.retrieve_block(0, sha256(b"nothing"))
+        assert record.latency is None
+
+    def test_join_with_everyone_offline_is_incomplete(self):
+        deployment, _ = full()
+        for node_id in list(deployment.nodes):
+            deployment.network.set_online(node_id, False)
+        join = deployment.join_new_node()
+        deployment.run()
+        assert not join.complete
+
+    def test_gossip_duplicate_suppression(self):
+        """Re-disseminating the same block changes nothing."""
+        deployment, report = full()
+        messages_before = deployment.network.traffic.total_messages
+        deployment.disseminate(report.blocks[0], proposer_id=0)
+        deployment.run()
+        # Only announce traffic (no re-transfers of the body to all).
+        delta = (
+            deployment.network.traffic.total_messages - messages_before
+        )
+        assert delta < len(deployment.nodes) * 10
+        for node in deployment.nodes.values():
+            assert node.ledger.height == 4
+
+
+class TestRapidChainRobustness:
+    def test_cross_shard_query_with_home_member_offline(self):
+        deployment, report = rapid()
+        block_hash = report.block_hashes[0]
+        header = deployment.ledger.store.header(block_hash)
+        home = deployment.home_committee(header)
+        members = deployment.committees.members_of(home)
+        deployment.network.set_online(members[0], False)
+        outsider = next(
+            node_id
+            for node_id, node in deployment.nodes.items()
+            if node.cluster_id != home
+            and deployment.network.is_online(node_id)
+        )
+        record = deployment.retrieve_block(outsider, block_hash)
+        deployment.run()
+        # The deployment picks the first *online* member to query.
+        assert record.latency is not None
+
+    def test_join_with_offline_committee_is_incomplete(self):
+        deployment, _ = rapid()
+        committee = deployment.committees.smallest_cluster()
+        for member in deployment.committees.members_of(committee):
+            deployment.network.set_online(member, False)
+        join = deployment.join_new_node()
+        deployment.run()
+        assert join.cluster_id == committee
+        assert not join.complete
+
+    def test_leader_crash_stalls_only_home_blocks(self):
+        """If a committee's leader is offline, its shard's new blocks
+        stall (known liveness limitation), other shards keep finalizing."""
+        deployment, _ = rapid(blocks=2)
+        dead_committee = 0
+        leader = deployment.committee_leader(dead_committee)
+        deployment.network.set_online(leader, False)
+        runner = ScenarioRunner(deployment, limits=TEST_LIMITS, seed=9)
+        # Re-seat the runner on the current tip.
+        runner._tip_hash = deployment.ledger.tip.block_hash
+        runner._tip_height = deployment.ledger.height
+        from repro.chain.block import build_block
+        from repro.chain.transaction import make_coinbase
+
+        finalized, stalled = 0, 0
+        tip = deployment.ledger.tip
+        prev_hash, prev_ts = tip.block_hash, tip.timestamp
+        for offset in range(1, 7):
+            height = tip.height + offset
+            block = build_block(
+                height=height,
+                prev_hash=prev_hash,
+                transactions=[
+                    make_coinbase(
+                        TEST_LIMITS.block_reward, b"\x05" * 20, height
+                    )
+                ],
+                timestamp=prev_ts + offset,
+            )
+            proposer = next(
+                node_id
+                for node_id in deployment.nodes
+                if deployment.network.is_online(node_id)
+            )
+            deployment.disseminate(block, proposer)
+            deployment.run()
+            home = deployment.home_committee(block.header)
+            done = (
+                block.block_hash,
+                home,
+            ) in deployment.metrics.cluster_finalized_at
+            if home == dead_committee:
+                stalled += 0 if done else 1
+            else:
+                finalized += 1 if done else 0
+            prev_hash, prev_ts = block.block_hash, block.header.timestamp
+        assert finalized > 0

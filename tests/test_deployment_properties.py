@@ -1,0 +1,137 @@
+"""Property-based invariants of the ICI deployment over random scenarios.
+
+For any small-but-arbitrary combination of population, cluster count,
+replication, placement policy, and protocol flags, after any run:
+
+* every cluster collectively holds the full ledger (the paper's core
+  intra-cluster integrity property);
+* every node indexes every header;
+* each cluster stores exactly ``r`` copies of every body;
+* every produced block finalizes in every cluster;
+* membership churn (a join followed by a departure) preserves all of the
+  above.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import ICIConfig
+from repro.core.icistrategy import ICIDeployment
+from repro.sim.runner import ScenarioRunner
+from tests.conftest import TEST_LIMITS
+
+scenario_params = st.fixed_dictionaries(
+    {
+        "n_clusters": st.integers(2, 4),
+        "cluster_size": st.integers(2, 5),
+        "replication": st.integers(1, 2),
+        "placement": st.sampled_from(["hash", "modulo", "round_robin"]),
+        "aggregate_votes": st.booleans(),
+        "n_blocks": st.integers(1, 4),
+        "seed": st.integers(0, 10_000),
+    }
+)
+
+
+def build_and_run(params):
+    n_nodes = params["n_clusters"] * params["cluster_size"]
+    replication = min(params["replication"], params["cluster_size"])
+    deployment = ICIDeployment(
+        n_nodes,
+        config=ICIConfig(
+            n_clusters=params["n_clusters"],
+            replication=replication,
+            placement=params["placement"],
+            aggregate_votes=params["aggregate_votes"],
+            limits=TEST_LIMITS,
+            seed=params["seed"],
+        ),
+    )
+    runner = ScenarioRunner(
+        deployment, limits=TEST_LIMITS, seed=params["seed"]
+    )
+    report = runner.produce_blocks(params["n_blocks"], txs_per_block=3)
+    return deployment, report, replication
+
+
+def assert_invariants(deployment, report, replication):
+    n_headers = deployment.ledger.store.header_count
+    for view in deployment.clusters.views():
+        assert deployment.cluster_holds_full_ledger(view.cluster_id)
+        for header in deployment.ledger.store.iter_active_headers():
+            copies = sum(
+                deployment.nodes[m].store.has_body(header.block_hash)
+                for m in view.members
+            )
+            assert copies == min(replication, view.size), (
+                f"cluster {view.cluster_id} height {header.height}: "
+                f"{copies} copies"
+            )
+    for node in deployment.nodes.values():
+        assert node.store.header_count == n_headers
+    for block_hash in report.block_hashes:
+        for view in deployment.clusters.views():
+            assert (
+                block_hash,
+                view.cluster_id,
+            ) in deployment.metrics.cluster_finalized_at
+
+
+class TestRunInvariants:
+    @settings(max_examples=20, deadline=None)
+    @given(params=scenario_params)
+    def test_post_run_invariants(self, params):
+        deployment, report, replication = build_and_run(params)
+        assert_invariants(deployment, report, replication)
+
+    @settings(max_examples=10, deadline=None)
+    @given(params=scenario_params)
+    def test_invariants_survive_join(self, params):
+        deployment, report, replication = build_and_run(params)
+        join = deployment.join_new_node()
+        deployment.run()
+        assert join.complete
+        assert_invariants(deployment, report, replication)
+
+    @settings(max_examples=10, deadline=None)
+    @given(params=scenario_params)
+    def test_invariants_survive_join_then_departure(self, params):
+        deployment, report, replication = build_and_run(params)
+        join = deployment.join_new_node()
+        deployment.run()
+        # Retire a different member of the joiner's cluster when allowed.
+        members = deployment.clusters.members_of(join.cluster_id)
+        if len(members) - 1 >= max(replication, 1) and len(members) > 1:
+            victim = next(m for m in members if m != join.node_id)
+            departure = deployment.leave_node(victim)
+            deployment.run()
+            assert departure.complete
+            assert not departure.lost_blocks
+        assert_invariants(deployment, report, replication)
+
+    @settings(max_examples=10, deadline=None)
+    @given(params=scenario_params, fail_seed=st.integers(0, 100))
+    def test_r2_crash_never_loses_data(self, params, fail_seed):
+        import random
+
+        params = dict(params)
+        params["replication"] = 2
+        params["cluster_size"] = max(params["cluster_size"], 4)
+        deployment, report, replication = build_and_run(params)
+        rng = random.Random(fail_seed)
+        candidates = [
+            member
+            for view in deployment.clusters.views()
+            if view.size > replication + 1
+            for member in view.members
+        ]
+        if not candidates:
+            return
+        victim = rng.choice(candidates)
+        crash = deployment.repair_after_crash(victim)
+        deployment.run()
+        assert crash.complete
+        assert not crash.lost_blocks
+        assert_invariants(deployment, report, replication)

@@ -1,0 +1,71 @@
+"""Determinism: identical seeds must reproduce identical simulations."""
+
+from __future__ import annotations
+
+from repro.core.config import ICIConfig
+from repro.core.icistrategy import ICIDeployment
+from repro.sim.runner import ScenarioRunner
+from tests.conftest import TEST_LIMITS
+
+
+def run_once(seed: int):
+    deployment = ICIDeployment(
+        16,
+        config=ICIConfig(
+            n_clusters=4, replication=2, limits=TEST_LIMITS, seed=seed
+        ),
+    )
+    runner = ScenarioRunner(deployment, limits=TEST_LIMITS, seed=seed)
+    report = runner.produce_blocks(5, txs_per_block=4)
+    join = deployment.join_new_node()
+    deployment.run()
+    return deployment, report, join
+
+
+class TestBitReproducibility:
+    def test_block_stream_identical(self):
+        _, report_a, _ = run_once(7)
+        _, report_b, _ = run_once(7)
+        assert report_a.block_hashes == report_b.block_hashes
+
+    def test_traffic_identical(self):
+        deployment_a, *_ = run_once(7)
+        deployment_b, *_ = run_once(7)
+        a, b = deployment_a.network.traffic, deployment_b.network.traffic
+        assert a.total_messages == b.total_messages
+        assert a.total_bytes == b.total_bytes
+        assert dict(a.bytes_by_kind) == dict(b.bytes_by_kind)
+
+    def test_virtual_time_identical(self):
+        deployment_a, *_ = run_once(7)
+        deployment_b, *_ = run_once(7)
+        assert deployment_a.network.now == deployment_b.network.now
+        assert (
+            deployment_a.metrics.cluster_finalized_at
+            == deployment_b.metrics.cluster_finalized_at
+        )
+
+    def test_bootstrap_identical(self):
+        _, _, join_a = run_once(7)
+        _, _, join_b = run_once(7)
+        assert join_a.total_bytes == join_b.total_bytes
+        assert join_a.duration == join_b.duration
+        assert join_a.cluster_id == join_b.cluster_id
+
+    def test_different_seeds_differ(self):
+        _, report_a, _ = run_once(7)
+        _, report_b, _ = run_once(8)
+        assert report_a.block_hashes != report_b.block_hashes
+
+    def test_storage_layout_identical(self):
+        deployment_a, *_ = run_once(7)
+        deployment_b, *_ = run_once(7)
+        layout_a = {
+            node_id: node.store.stored_bytes
+            for node_id, node in deployment_a.nodes.items()
+        }
+        layout_b = {
+            node_id: node.store.stored_bytes
+            for node_id, node in deployment_b.nodes.items()
+        }
+        assert layout_a == layout_b

@@ -1,0 +1,223 @@
+"""Integration tests: competing branches and chain reorganization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chain.block import build_block
+from repro.chain.transaction import make_coinbase
+from repro.core.config import ICIConfig
+from repro.core.icistrategy import ICIDeployment
+from repro.sim.runner import ScenarioRunner
+from tests.conftest import TEST_LIMITS
+
+
+def deployed(n_blocks=6, **config_kwargs):
+    config_kwargs.setdefault("n_clusters", 4)
+    config_kwargs.setdefault("replication", 1)
+    config_kwargs.setdefault("limits", TEST_LIMITS)
+    deployment = ICIDeployment(16, config=ICIConfig(**config_kwargs))
+    runner = ScenarioRunner(deployment, limits=TEST_LIMITS)
+    runner.produce_blocks(n_blocks, txs_per_block=3)
+    return deployment, runner
+
+
+class TestShortForks:
+    def test_short_fork_does_not_reorg(self):
+        deployment, runner = deployed()
+        tip_before = deployment.ledger.tip.block_hash
+        branch = runner.produce_fork(fork_from_height=4, length=1)
+        assert deployment.reorg_count == 0
+        assert deployment.ledger.tip.block_hash == tip_before
+        assert deployment.ledger.height == 6
+
+    def test_side_blocks_still_stored_by_holders(self):
+        deployment, runner = deployed()
+        branch = runner.produce_fork(fork_from_height=4, length=1)
+        side = branch[0]
+        copies = sum(
+            node.store.has_body(side.block_hash)
+            for node in deployment.nodes.values()
+        )
+        assert copies >= deployment.clusters.cluster_count  # r per cluster
+
+    def test_side_blocks_finalize_in_clusters(self):
+        deployment, runner = deployed()
+        branch = runner.produce_fork(fork_from_height=4, length=1)
+        for view in deployment.clusters.views():
+            assert (
+                branch[0].block_hash,
+                view.cluster_id,
+            ) in deployment.metrics.cluster_finalized_at
+
+    def test_equal_length_fork_does_not_reorg(self):
+        deployment, runner = deployed()
+        runner.produce_fork(fork_from_height=4, length=2)  # ties at 6
+        assert deployment.reorg_count == 0
+        assert deployment.ledger.height == 6
+
+
+class TestReorgs:
+    def test_longer_fork_wins(self):
+        deployment, runner = deployed()
+        branch = runner.produce_fork(fork_from_height=4, length=3)
+        assert deployment.reorg_count == 1
+        assert deployment.ledger.height == 7
+        assert (
+            deployment.ledger.tip.block_hash == branch[-1].block_hash
+        )
+
+    def test_integrity_holds_on_new_chain(self):
+        deployment, runner = deployed()
+        runner.produce_fork(fork_from_height=3, length=5)
+        for view in deployment.clusters.views():
+            assert deployment.cluster_holds_full_ledger(view.cluster_id)
+
+    def test_production_continues_on_new_chain(self):
+        deployment, runner = deployed()
+        runner.produce_fork(fork_from_height=4, length=3)
+        report = runner.produce_blocks(2, txs_per_block=3)
+        assert deployment.ledger.height == 9
+        assert not deployment.metrics.blocks_rejected
+        assert report.transactions_produced > 0
+
+    def test_reorg_back_onto_original_branch(self):
+        """Extend the stale branch past the fork: chain flips back."""
+        deployment, runner = deployed()
+        original_tip = deployment.ledger.tip
+        runner.produce_fork(fork_from_height=4, length=3)  # now on fork
+        assert deployment.reorg_count == 1
+        # Build on the *original* (now stale) chain until it outgrows.
+        prev = original_tip
+        from repro.crypto.keys import KeyPair
+
+        for offset in range(1, 3):
+            height = original_tip.height + offset
+            block = build_block(
+                height=height,
+                prev_hash=prev.block_hash,
+                transactions=[
+                    make_coinbase(
+                        TEST_LIMITS.block_reward,
+                        KeyPair.from_seed(8_000_000 + height).address,
+                        height,
+                    )
+                ],
+                timestamp=prev.timestamp + 1.0,
+            )
+            deployment.disseminate(block, proposer_id=0)
+            deployment.run()
+            prev = block.header
+        assert deployment.reorg_count == 2
+        assert deployment.ledger.tip.block_hash == prev.block_hash
+
+    def test_deep_fork_from_genesis(self):
+        deployment, runner = deployed(n_blocks=3)
+        branch = runner.produce_fork(fork_from_height=0, length=5)
+        assert deployment.reorg_count == 1
+        assert deployment.ledger.height == 5
+        assert deployment.ledger.tip.block_hash == branch[-1].block_hash
+
+
+class TestForksWithChurn:
+    def test_production_survives_departed_proposer(self):
+        """Regression: the runner's proposer rotation must skip members
+        that departed, instead of crashing on a stale schedule entry."""
+        deployment, runner = deployed()
+        # Retire whichever node the schedule would pick for height 7.
+        scheduled = runner.schedule.proposer_at(7)
+        cluster = deployment.nodes[scheduled].cluster_id
+        if len(deployment.clusters.members_of(cluster)) > 2:
+            departure = deployment.leave_node(scheduled)
+            deployment.run()
+            assert departure.complete
+        report = runner.produce_blocks(2, txs_per_block=2)
+        assert report.blocks_produced == 2
+        assert not deployment.metrics.blocks_rejected
+
+    def test_fork_then_churn_then_production(self):
+        deployment, runner = deployed()
+        runner.produce_fork(fork_from_height=3, length=5)
+        join = deployment.join_new_node()
+        deployment.run()
+        assert join.complete
+        victim = next(
+            m
+            for m in deployment.clusters.members_of(join.cluster_id)
+            if m != join.node_id
+        )
+        leave = deployment.leave_node(victim)
+        deployment.run()
+        assert leave.complete and not leave.lost_blocks
+        report = runner.produce_blocks(2, txs_per_block=2)
+        assert not deployment.metrics.blocks_rejected
+        for view in deployment.clusters.views():
+            assert deployment.cluster_holds_full_ledger(view.cluster_id)
+
+
+class TestInvalidForks:
+    def test_stateless_invalid_fork_block_rejected(self):
+        deployment, runner = deployed()
+        fork_parent = deployment.ledger.active_hash_at(4)
+        bad = build_block(
+            height=5,
+            prev_hash=fork_parent,
+            transactions=[
+                make_coinbase(1, b"\x01" * 20, 5),
+                make_coinbase(1, b"\x02" * 20, 5),  # second coinbase
+            ],
+            timestamp=99.0,
+        )
+        deployment.disseminate(bad, proposer_id=0)
+        deployment.run()
+        assert bad.block_hash in deployment.metrics.blocks_rejected
+
+    def test_stateful_invalid_branch_never_becomes_canonical(self):
+        """An overpaying-coinbase branch fails at reorg time."""
+        deployment, runner = deployed()
+        fork_parent = deployment.ledger.active_hash_at(4)
+        parent_header = deployment.ledger.store.header(fork_parent)
+        prev_hash, prev_ts = fork_parent, parent_header.timestamp
+        for offset in range(1, 4):  # longer than canonical
+            height = 4 + offset
+            greedy = build_block(
+                height=height,
+                prev_hash=prev_hash,
+                transactions=[
+                    make_coinbase(
+                        TEST_LIMITS.block_reward * 50,
+                        b"\x03" * 20,
+                        height,
+                    )
+                ],
+                timestamp=prev_ts + 1.0,
+            )
+            deployment.disseminate(greedy, proposer_id=0)
+            deployment.run()
+            prev_hash = greedy.block_hash
+            prev_ts = greedy.header.timestamp
+        assert deployment.reorg_count == 0
+        assert deployment.ledger.height == 6  # canonical untouched
+
+    def test_detached_block_stays_orphaned(self):
+        """No known parent: the block waits in orphan buffers forever —
+        it is never finalized, never applied, never stored as assigned."""
+        from repro.crypto.hashing import sha256
+
+        deployment, runner = deployed()
+        orphan = build_block(
+            height=3,
+            prev_hash=sha256(b"unknown parent"),
+            transactions=[make_coinbase(1, b"\x01" * 20, 3)],
+            timestamp=50.0,
+        )
+        deployment.disseminate(orphan, proposer_id=0)
+        deployment.run()
+        assert deployment.ledger.height == 6  # untouched
+        assert not any(
+            (orphan.block_hash, view.cluster_id)
+            in deployment.metrics.cluster_finalized_at
+            for view in deployment.clusters.views()
+        )
+        for node in deployment.nodes.values():
+            assert not node.is_holder_of(orphan.block_hash)

@@ -1,0 +1,161 @@
+"""Tests for on-disk chain-store persistence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chain.block import deserialize_body, serialize_body
+from repro.chain.persistence import (
+    load_block,
+    load_chain_store,
+    save_block,
+    save_chain_store,
+)
+from repro.errors import StorageError, ValidationError
+
+
+class TestBodySerialization:
+    def test_roundtrip(self, ledger, chain_of_three):
+        block = chain_of_three[1]
+        raw = serialize_body(block)
+        rebuilt = deserialize_body(block.header, raw)
+        assert rebuilt.transactions == block.transactions
+
+    def test_truncated_rejected(self, ledger, chain_of_three):
+        block = chain_of_three[1]
+        raw = serialize_body(block)
+        with pytest.raises(ValidationError):
+            deserialize_body(block.header, raw[:-3])
+
+    def test_trailing_bytes_rejected(self, ledger, chain_of_three):
+        block = chain_of_three[1]
+        raw = serialize_body(block) + b"\x00"
+        with pytest.raises(ValidationError):
+            deserialize_body(block.header, raw)
+
+    def test_wrong_header_rejected(self, ledger, chain_of_three):
+        """Commitment check: a body cannot be attached to another header."""
+        a, b = chain_of_three[0], chain_of_three[1]
+        with pytest.raises(ValidationError, match="commitment"):
+            deserialize_body(a.header, serialize_body(b))
+
+
+class TestChainStoreRoundtrip:
+    def test_full_store_roundtrip(self, ledger, chain_of_three, tmp_path):
+        written = save_chain_store(ledger.store, tmp_path / "db")
+        assert written > 0
+        loaded = load_chain_store(tmp_path / "db")
+        assert loaded.header_count == ledger.store.header_count
+        assert loaded.body_count == ledger.store.body_count
+        assert loaded.tip.block_hash == ledger.store.tip.block_hash
+        for header in ledger.store.iter_active_headers():
+            assert loaded.has_body(header.block_hash)
+            assert (
+                loaded.body(header.block_hash).transactions
+                == ledger.store.body(header.block_hash).transactions
+            )
+
+    def test_partial_body_store(self, ledger, chain_of_three, tmp_path):
+        """Headers-everything, bodies-some: the ICI node shape."""
+        pruned = ledger.store
+        dropped = chain_of_three[1].block_hash
+        pruned.drop_body(dropped)
+        save_chain_store(pruned, tmp_path / "db")
+        loaded = load_chain_store(tmp_path / "db")
+        assert loaded.header_count == 4
+        assert not loaded.has_body(dropped)
+        assert loaded.has_body(chain_of_three[0].block_hash)
+
+    def test_resave_prunes_stale_bodies(
+        self, ledger, chain_of_three, tmp_path
+    ):
+        save_chain_store(ledger.store, tmp_path / "db")
+        ledger.store.drop_body(chain_of_three[2].block_hash)
+        save_chain_store(ledger.store, tmp_path / "db")
+        loaded = load_chain_store(tmp_path / "db")
+        assert loaded.body_count == ledger.store.body_count
+
+    def test_missing_manifest_rejected(self, tmp_path):
+        (tmp_path / "db").mkdir()
+        with pytest.raises(StorageError, match="manifest"):
+            load_chain_store(tmp_path / "db")
+
+    def test_bad_version_rejected(self, ledger, tmp_path):
+        save_chain_store(ledger.store, tmp_path / "db")
+        (tmp_path / "db" / "MANIFEST").write_text(
+            "version=99\nheaders=1\nbodies=1\n"
+        )
+        with pytest.raises(StorageError, match="format"):
+            load_chain_store(tmp_path / "db")
+
+    def test_truncated_headers_rejected(self, ledger, tmp_path):
+        save_chain_store(ledger.store, tmp_path / "db")
+        path = tmp_path / "db" / "headers.dat"
+        path.write_bytes(path.read_bytes()[:-1])
+        with pytest.raises(StorageError, match="truncated"):
+            load_chain_store(tmp_path / "db")
+
+    def test_orphan_body_rejected(self, ledger, tmp_path):
+        save_chain_store(ledger.store, tmp_path / "db")
+        (tmp_path / "db" / "bodies" / ("ab" * 32 + ".blk")).write_bytes(
+            b"junk"
+        )
+        with pytest.raises(StorageError):
+            load_chain_store(tmp_path / "db")
+
+    def test_side_chain_headers_survive(
+        self, ledger, chain_of_three, tmp_path, alice
+    ):
+        """Fork headers persist and reload parent-first."""
+        from repro.chain.block import build_block
+        from repro.chain.transaction import make_coinbase
+
+        side = build_block(
+            height=2,
+            prev_hash=chain_of_three[0].block_hash,
+            transactions=[make_coinbase(1, alice.address, 2)],
+            timestamp=chain_of_three[0].header.timestamp + 0.5,
+        )
+        ledger.store.add_header(side.header)
+        save_chain_store(ledger.store, tmp_path / "db")
+        loaded = load_chain_store(tmp_path / "db")
+        assert loaded.has_header(side.block_hash)
+        assert loaded.header_count == 5
+
+
+class TestDeploymentPersistence:
+    def test_ici_node_slice_roundtrip(self, tmp_path):
+        """Persist and reload a cluster node's partial store."""
+        from repro.core.config import ICIConfig
+        from repro.core.icistrategy import ICIDeployment
+        from repro.sim.runner import ScenarioRunner
+        from tests.conftest import TEST_LIMITS
+
+        deployment = ICIDeployment(
+            12,
+            config=ICIConfig(
+                n_clusters=3, replication=1, limits=TEST_LIMITS
+            ),
+        )
+        runner = ScenarioRunner(deployment, limits=TEST_LIMITS)
+        runner.produce_blocks(5, txs_per_block=3)
+        node = deployment.nodes[0]
+        save_chain_store(node.store, tmp_path / "node0")
+        loaded = load_chain_store(tmp_path / "node0")
+        assert loaded.header_count == node.store.header_count
+        assert loaded.body_count == node.store.body_count
+        assert loaded.stored_bytes == node.store.stored_bytes
+
+
+class TestSingleBlockFiles:
+    def test_roundtrip(self, ledger, chain_of_three, tmp_path):
+        block = chain_of_three[0]
+        save_block(block, tmp_path / "block.blk")
+        loaded = load_block(tmp_path / "block.blk")
+        assert loaded.block_hash == block.block_hash
+        assert loaded.transactions == block.transactions
+
+    def test_truncated_rejected(self, tmp_path):
+        (tmp_path / "bad.blk").write_bytes(b"\x00" * 10)
+        with pytest.raises(StorageError, match="truncated"):
+            load_block(tmp_path / "bad.blk")

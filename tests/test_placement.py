@@ -1,0 +1,166 @@
+"""Unit + property tests for block placement policies."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chain.block import BlockHeader
+from repro.crypto.hashing import ZERO_HASH, sha256
+from repro.errors import PlacementError
+from repro.storage.placement import (
+    CapacityWeightedPlacement,
+    ModuloSlotPlacement,
+    RendezvousPlacement,
+    RoundRobinPlacement,
+    load_imbalance,
+    placement_load,
+)
+
+POLICIES = [
+    RendezvousPlacement(),
+    ModuloSlotPlacement(),
+    RoundRobinPlacement(),
+    CapacityWeightedPlacement(capacities={}),
+]
+
+
+def header_at(height: int) -> BlockHeader:
+    return BlockHeader(
+        height=height,
+        prev_hash=sha256(f"p{height}".encode()),
+        merkle_root=ZERO_HASH,
+        timestamp=float(height),
+    )
+
+
+@pytest.mark.parametrize("policy", POLICIES, ids=lambda p: type(p).__name__)
+class TestPolicyContract:
+    def test_returns_r_distinct_members(self, policy):
+        members = list(range(10))
+        holders = policy.holders(header_at(5), members, replication=3)
+        assert len(holders) == 3
+        assert len(set(holders)) == 3
+        assert set(holders) <= set(members)
+
+    def test_deterministic(self, policy):
+        members = list(range(8))
+        a = policy.holders(header_at(7), members, 2)
+        b = policy.holders(header_at(7), members, 2)
+        assert a == b
+
+    def test_independent_of_member_ordering(self, policy):
+        members = [5, 1, 9, 3, 7]
+        a = policy.holders(header_at(4), members, 2)
+        b = policy.holders(header_at(4), list(reversed(members)), 2)
+        assert set(a) == set(b)
+
+    def test_replication_equal_cluster_size(self, policy):
+        members = [3, 1, 2]
+        holders = policy.holders(header_at(1), members, 3)
+        assert set(holders) == {1, 2, 3}
+
+    def test_zero_replication_rejected(self, policy):
+        with pytest.raises(PlacementError):
+            policy.holders(header_at(1), [0, 1], 0)
+
+    def test_replication_exceeding_cluster_rejected(self, policy):
+        with pytest.raises(PlacementError):
+            policy.holders(header_at(1), [0, 1], 3)
+
+    def test_empty_cluster_rejected(self, policy):
+        with pytest.raises(PlacementError):
+            policy.holders(header_at(1), [], 1)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 500), st.integers(2, 20), st.data())
+    def test_contract_property(self, policy, height, m, data):
+        r = data.draw(st.integers(1, m))
+        members = list(range(100, 100 + m))
+        holders = policy.holders(header_at(height), members, r)
+        assert len(set(holders)) == r
+        assert set(holders) <= set(members)
+
+
+class TestBalance:
+    def test_rendezvous_roughly_uniform(self):
+        members = list(range(10))
+        headers = [header_at(h) for h in range(500)]
+        load = placement_load(headers, members, 1, RendezvousPlacement())
+        assert load_imbalance(load) < 1.5
+
+    def test_round_robin_perfectly_uniform(self):
+        members = list(range(10))
+        headers = [header_at(h) for h in range(500)]
+        load = placement_load(headers, members, 1, RoundRobinPlacement())
+        assert load_imbalance(load) == 1.0
+
+    def test_capacity_weighting_shifts_load(self):
+        members = list(range(4))
+        heavy = CapacityWeightedPlacement(
+            capacities={0: 4.0, 1: 1.0, 2: 1.0, 3: 1.0}
+        )
+        headers = [header_at(h) for h in range(800)]
+        load = placement_load(headers, members, 1, heavy)
+        assert load[0] > 2 * max(load[1], load[2], load[3]) * 0.7
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(PlacementError):
+            CapacityWeightedPlacement(capacities={0: 0.0})
+
+    def test_load_imbalance_empty_rejected(self):
+        with pytest.raises(PlacementError):
+            load_imbalance({})
+
+
+class TestMembershipStability:
+    def test_rendezvous_moves_few_blocks_on_join(self):
+        """HRW: a join moves ≈ r/(m+1) of blocks; modulo moves ~all."""
+        members = list(range(10))
+        grown = members + [10]
+        headers = [header_at(h) for h in range(400)]
+        policy = RendezvousPlacement()
+        moved = sum(
+            set(policy.holders(h, members, 1))
+            != set(policy.holders(h, grown, 1))
+            for h in headers
+        )
+        assert moved / len(headers) < 0.2  # expected ≈ 1/11
+
+    def test_modulo_reshuffles_on_join(self):
+        members = list(range(10))
+        grown = members + [10]
+        headers = [header_at(h) for h in range(400)]
+        policy = ModuloSlotPlacement()
+        moved = sum(
+            set(policy.holders(h, members, 1))
+            != set(policy.holders(h, grown, 1))
+            for h in headers
+        )
+        assert moved / len(headers) > 0.7
+
+    def test_join_only_wins_blocks_it_should(self):
+        """Under HRW, every reassigned block moves *to the joiner*."""
+        members = list(range(10))
+        grown = members + [10]
+        policy = RendezvousPlacement()
+        for h in range(300):
+            old = set(policy.holders(header_at(h), members, 2))
+            new = set(policy.holders(header_at(h), grown, 2))
+            if old != new:
+                assert new - old == {10}
+
+
+class TestRoundRobinSemantics:
+    def test_rotation_by_height(self):
+        members = [0, 1, 2, 3]
+        policy = RoundRobinPlacement()
+        assert policy.holders(header_at(0), members, 1) == (0,)
+        assert policy.holders(header_at(1), members, 1) == (1,)
+        assert policy.holders(header_at(5), members, 1) == (1,)
+
+    def test_replicas_are_consecutive(self):
+        members = [0, 1, 2, 3]
+        policy = RoundRobinPlacement()
+        assert policy.holders(header_at(3), members, 2) == (3, 0)

@@ -1,0 +1,102 @@
+"""Tests for the markdown deployment report generator."""
+
+from __future__ import annotations
+
+import io
+
+from repro.analysis.report import (
+    render_deployment_report,
+    write_deployment_report,
+)
+from repro.baselines.full_replication import FullReplicationDeployment
+from repro.core.config import ICIConfig
+from repro.core.icistrategy import ICIDeployment
+from repro.sim.runner import ScenarioRunner
+from tests.conftest import TEST_LIMITS
+
+
+def ici_deployment(**kwargs):
+    kwargs.setdefault("n_clusters", 4)
+    kwargs.setdefault("replication", 1)
+    kwargs.setdefault("limits", TEST_LIMITS)
+    deployment = ICIDeployment(16, config=ICIConfig(**kwargs))
+    runner = ScenarioRunner(deployment, limits=TEST_LIMITS)
+    runner.produce_blocks(4, txs_per_block=3)
+    return deployment, runner
+
+
+class TestReportSections:
+    def test_contains_all_core_sections(self):
+        deployment, _ = ici_deployment()
+        report = render_deployment_report(deployment)
+        for heading in (
+            "## Population",
+            "## Storage",
+            "## Traffic",
+            "## Verification",
+            "## Latency",
+        ):
+            assert heading in report
+
+    def test_membership_events_after_join_and_leave(self):
+        deployment, _ = ici_deployment()
+        deployment.join_new_node()
+        deployment.run()
+        victim = deployment.clusters.members_of(0)[1]
+        deployment.leave_node(victim)
+        deployment.run()
+        report = render_deployment_report(deployment)
+        assert "## Membership events" in report
+        assert "join" in report
+        assert "leave" in report
+
+    def test_parity_reported(self):
+        deployment, _ = ici_deployment(
+            replication=1, parity_group_size=3
+        )
+        report = render_deployment_report(deployment)
+        assert "parity bytes" in report
+        assert "parity groups" in report
+
+    def test_reorgs_reported(self):
+        deployment, runner = ici_deployment()
+        runner.produce_fork(fork_from_height=2, length=3)
+        report = render_deployment_report(deployment)
+        assert "reorgs" in report
+
+    def test_compact_hit_rate_reported(self):
+        deployment = ICIDeployment(
+            12,
+            config=ICIConfig(
+                n_clusters=3,
+                compact_blocks=True,
+                limits=TEST_LIMITS,
+            ),
+        )
+        runner = ScenarioRunner(deployment, limits=TEST_LIMITS)
+        runner.produce_blocks_via_relay(3, txs_per_block=3)
+        report = render_deployment_report(deployment)
+        assert "compact mempool hit rate" in report
+
+    def test_works_for_baselines(self):
+        deployment = FullReplicationDeployment(8, limits=TEST_LIMITS)
+        ScenarioRunner(deployment, limits=TEST_LIMITS).produce_blocks(
+            2, txs_per_block=2
+        )
+        report = render_deployment_report(deployment, title="baseline")
+        assert report.startswith("# baseline")
+        assert "## Storage" in report
+
+    def test_write_to_stream(self):
+        deployment, _ = ici_deployment()
+        buffer = io.StringIO()
+        write_deployment_report(deployment, buffer)
+        assert buffer.getvalue().endswith("\n")
+        assert "## Traffic" in buffer.getvalue()
+
+    def test_tables_are_well_formed_markdown(self):
+        deployment, _ = ici_deployment()
+        report = render_deployment_report(deployment)
+        for line in report.splitlines():
+            if line.startswith("|"):
+                assert line.count("|") >= 3

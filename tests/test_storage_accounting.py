@@ -1,0 +1,300 @@
+"""Unit tests for storage accounting, replication health, and erasure."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chain.block import BlockHeader
+from repro.chain.chainstore import ChainStore
+from repro.crypto.hashing import ZERO_HASH, sha256
+from repro.errors import StorageError
+from repro.storage.accounting import (
+    full_replication_total,
+    ici_per_node,
+    ici_total,
+    rapidchain_per_node,
+    rapidchain_total,
+    report_network,
+    report_node,
+)
+from repro.storage.erasure import (
+    encode_group,
+    parity_storage_total,
+    recover_chunk,
+)
+from repro.storage.placement import RendezvousPlacement
+from repro.storage.replication import (
+    analytic_block_survival,
+    analytic_ledger_survival,
+    availability_under_failures,
+    binomial_failure_probability,
+    expected_repair_fraction,
+    plan_repair_after_departure,
+    sample_failure_sets,
+)
+
+
+def header_at(height: int) -> BlockHeader:
+    return BlockHeader(
+        height=height,
+        prev_hash=sha256(f"p{height}".encode()),
+        merkle_root=ZERO_HASH,
+        timestamp=float(height),
+    )
+
+
+class TestReports:
+    def test_node_report(self, genesis):
+        store = ChainStore()
+        store.add_body(genesis)
+        report = report_node(7, store)
+        assert report.node_id == 7
+        assert report.total_bytes == store.stored_bytes
+        assert report.body_count == 1
+
+    def test_network_report_aggregates(self, genesis):
+        stores = {}
+        for node_id in range(3):
+            store = ChainStore()
+            store.add_header(genesis.header)
+            if node_id == 0:
+                store.add_body(genesis)
+            stores[node_id] = store
+        report = report_network(stores)
+        assert report.node_count == 3
+        assert report.total_bytes == sum(
+            s.stored_bytes for s in stores.values()
+        )
+        assert report.max_node_bytes == stores[0].stored_bytes
+        assert report.mean_node_bytes == report.total_bytes / 3
+        assert report.stdev_node_bytes > 0
+
+    def test_ratio_to(self, genesis):
+        a = report_network({0: ChainStore()})
+        store = ChainStore()
+        store.add_body(genesis)
+        b = report_network({0: store})
+        assert b.ratio_to(b) == 1.0
+        assert a.ratio_to(b) == 0.0
+
+
+class TestClosedForms:
+    def test_full_replication_scales_with_n(self):
+        assert full_replication_total(100, 10) == 1000
+
+    def test_rapidchain_independent_of_n(self):
+        assert rapidchain_total(1000, 250, 1.0) == rapidchain_total(
+            4000, 250, 1.0
+        )
+
+    def test_headline_25_percent(self):
+        """The abstract's claim: ICI(16,1) = 25% of RapidChain(250)."""
+        rc = rapidchain_total(1000, 250, 1.0)
+        ici = ici_total(1000, 16, 1, 1.0)
+        assert ici / rc == pytest.approx(0.25)
+
+    def test_replication_scales_ici(self):
+        assert ici_total(100, 10, 2, 1.0) == 2 * ici_total(100, 10, 1, 1.0)
+
+    def test_per_node_forms(self):
+        assert ici_per_node(10, 2, 100.0) == 20.0
+        assert rapidchain_per_node(100, 10, 100.0) == 10.0
+
+    def test_bad_args_rejected(self):
+        with pytest.raises(ValueError):
+            rapidchain_total(10, 20, 1.0)
+        with pytest.raises(ValueError):
+            ici_total(10, 0, 1, 1.0)
+        with pytest.raises(ValueError):
+            ici_total(10, 5, 6, 1.0)
+
+
+class TestAvailability:
+    def test_no_failures_all_available(self):
+        headers = [header_at(h) for h in range(50)]
+        report = availability_under_failures(
+            headers, list(range(10)), 2, RendezvousPlacement(), set()
+        )
+        assert report.all_available
+        assert report.survival_fraction == 1.0
+
+    def test_failing_all_holders_loses_block(self):
+        headers = [header_at(0)]
+        policy = RendezvousPlacement()
+        holders = set(policy.holders(headers[0], list(range(6)), 2))
+        report = availability_under_failures(
+            headers, list(range(6)), 2, policy, holders
+        )
+        assert report.lost_blocks == 1
+        assert not report.all_available
+
+    def test_at_risk_counting(self):
+        headers = [header_at(0)]
+        policy = RendezvousPlacement()
+        holders = policy.holders(headers[0], list(range(6)), 2)
+        report = availability_under_failures(
+            headers, list(range(6)), 2, policy, {holders[0]}
+        )
+        assert report.at_risk_blocks == 1
+        assert report.lost_blocks == 0
+
+    def test_analytic_block_survival(self):
+        assert analytic_block_survival(10, 1, 0.5) == 0.5
+        assert analytic_block_survival(10, 2, 0.5) == 0.75
+        assert analytic_block_survival(10, 3, 0.0) == 1.0
+
+    def test_analytic_ledger_survival(self):
+        single = analytic_block_survival(10, 2, 0.3)
+        assert analytic_ledger_survival(5, 10, 2, 0.3) == pytest.approx(
+            single**5
+        )
+
+    def test_bad_probability_rejected(self):
+        with pytest.raises(StorageError):
+            analytic_block_survival(10, 2, 1.5)
+
+    def test_binomial_failure_probability(self):
+        # m=4, r=2, f=2: C(2,0)/C(4,2) = 1/6
+        assert binomial_failure_probability(4, 2, 2) == pytest.approx(1 / 6)
+        assert binomial_failure_probability(4, 2, 1) == 0.0
+        assert binomial_failure_probability(4, 2, 4) == 1.0
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(4, 12), st.integers(1, 3), st.integers(0, 3))
+    def test_monte_carlo_matches_hypergeometric(self, m, r, extra):
+        """Measured loss over random failure sets ≈ closed form."""
+        r = min(r, m)
+        f = min(r + extra, m)
+        members = list(range(m))
+        headers = [header_at(h) for h in range(60)]
+        policy = RendezvousPlacement()
+        expected = binomial_failure_probability(m, r, f)
+        losses = 0
+        trials = 0
+        for failed in sample_failure_sets(members, f, 25, seed=1):
+            report = availability_under_failures(
+                headers, members, r, policy, failed
+            )
+            losses += report.lost_blocks
+            trials += report.total_blocks
+        measured = losses / trials
+        assert abs(measured - expected) < 0.25
+
+
+class TestRepairPlanning:
+    def test_departure_triggers_transfers(self):
+        members = list(range(8))
+        headers = [header_at(h) for h in range(100)]
+        policy = RendezvousPlacement()
+        plan = plan_repair_after_departure(
+            headers,
+            body_bytes=lambda _h: 1000,
+            old_members=members,
+            departed=3,
+            replication=2,
+            policy=policy,
+        )
+        # Expected ≈ r/m of blocks need repair.
+        assert 0 < plan.transfer_count < len(headers)
+        assert plan.bytes_moved == plan.transfer_count * 1000
+
+    def test_unknown_departed_rejected(self):
+        with pytest.raises(StorageError):
+            plan_repair_after_departure(
+                [], lambda _h: 0, [0, 1], departed=9, replication=1,
+                policy=RendezvousPlacement(),
+            )
+
+    def test_departure_below_replication_rejected(self):
+        with pytest.raises(StorageError):
+            plan_repair_after_departure(
+                [], lambda _h: 0, [0, 1], departed=0, replication=2,
+                policy=RendezvousPlacement(),
+            )
+
+    def test_expected_repair_fraction(self):
+        assert expected_repair_fraction(10, 2) == 0.2
+        assert expected_repair_fraction(2, 2) == 1.0
+        with pytest.raises(StorageError):
+            expected_repair_fraction(0, 1)
+
+    def test_sample_failure_sets_bounds(self):
+        sets = list(sample_failure_sets(range(5), 2, 4, seed=0))
+        assert len(sets) == 4
+        for failed in sets:
+            assert len(failed) == 2
+        with pytest.raises(StorageError):
+            list(sample_failure_sets([0], 2, 1))
+
+
+class TestErasure:
+    def test_encode_and_recover(self):
+        chunks = [(bytes([i]) * 4, f"body-{i}".encode() * (i + 1)) for i in range(4)]
+        group = encode_group(chunks)
+        lost_id, lost_body = chunks[2]
+        surviving = {
+            chunk_id: body for chunk_id, body in chunks if chunk_id != lost_id
+        }
+        assert recover_chunk(group, lost_id, surviving) == lost_body
+
+    def test_recover_each_position(self):
+        chunks = [(bytes([i]) * 4, bytes([i * 7]) * (10 + i)) for i in range(5)]
+        group = encode_group(chunks)
+        for lost_id, lost_body in chunks:
+            surviving = {
+                cid: body for cid, body in chunks if cid != lost_id
+            }
+            assert recover_chunk(group, lost_id, surviving) == lost_body
+
+    def test_two_losses_rejected(self):
+        chunks = [(bytes([i]) * 4, b"x" * 8) for i in range(3)]
+        group = encode_group(chunks)
+        surviving = {chunks[2][0]: chunks[2][1]}  # two missing
+        with pytest.raises(StorageError, match="exactly one"):
+            recover_chunk(group, chunks[0][0], surviving)
+
+    def test_wrong_length_survivor_rejected(self):
+        chunks = [(bytes([i]) * 4, b"x" * 8) for i in range(3)]
+        group = encode_group(chunks)
+        surviving = {chunks[1][0]: b"x" * 7, chunks[2][0]: b"x" * 8}
+        with pytest.raises(StorageError, match="length"):
+            recover_chunk(group, chunks[0][0], surviving)
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(StorageError):
+            encode_group([])
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(StorageError):
+            encode_group([(b"a" * 4, b"x"), (b"a" * 4, b"y")])
+
+    def test_unknown_chunk_rejected(self):
+        group = encode_group([(b"a" * 4, b"x" * 4)])
+        with pytest.raises(StorageError):
+            group.index_of(b"z" * 4)
+
+    def test_parity_storage_closed_form(self):
+        # group of 4: overhead factor 1.25 per cluster.
+        assert parity_storage_total(100, 10, 4, 1000.0) == pytest.approx(
+            10 * 1250.0
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.binary(min_size=1, max_size=40), min_size=2, max_size=6
+        ),
+        st.data(),
+    )
+    def test_recovery_property(self, bodies, data):
+        chunks = [
+            (index.to_bytes(4, "big"), body)
+            for index, body in enumerate(bodies)
+        ]
+        group = encode_group(chunks)
+        lost = data.draw(st.integers(0, len(chunks) - 1))
+        lost_id, lost_body = chunks[lost]
+        surviving = {cid: b for cid, b in chunks if cid != lost_id}
+        assert recover_chunk(group, lost_id, surviving) == lost_body

@@ -1,0 +1,212 @@
+"""Unit + property tests for transactions and their serialization."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.chain.transaction import (
+    OutPoint,
+    Transaction,
+    TxInput,
+    TxOutput,
+    make_coinbase,
+    make_signed_transfer,
+)
+from repro.crypto.hashing import sha256
+from repro.crypto.keys import KeyPair
+from repro.crypto.signatures import verify
+from repro.errors import ValidationError
+
+
+def outpoint(tag: bytes = b"prev", index: int = 0) -> OutPoint:
+    return OutPoint(txid=sha256(tag), index=index)
+
+
+class TestOutPoint:
+    def test_serialize_roundtrip(self):
+        op = outpoint(b"x", 7)
+        assert OutPoint.deserialize(op.serialize()) == op
+
+    def test_bad_txid_length(self):
+        with pytest.raises(ValidationError):
+            OutPoint(txid=b"short", index=0)
+
+    def test_negative_index(self):
+        with pytest.raises(ValidationError):
+            OutPoint(txid=sha256(b"x"), index=-1)
+
+    def test_deserialize_rejects_bad_length(self):
+        with pytest.raises(ValidationError):
+            OutPoint.deserialize(b"\x00" * 35)
+
+
+class TestTxOutput:
+    def test_negative_value_rejected(self):
+        with pytest.raises(ValidationError):
+            TxOutput(value=-1, address=b"\x00" * 20)
+
+    def test_bad_address_length_rejected(self):
+        with pytest.raises(ValidationError):
+            TxOutput(value=1, address=b"\x00" * 19)
+
+    def test_size(self):
+        assert TxOutput(value=1, address=b"\x00" * 20).size_bytes == 28
+
+
+class TestTransactionBasics:
+    def test_requires_an_output(self):
+        with pytest.raises(ValidationError):
+            Transaction(inputs=(), outputs=())
+
+    def test_coinbase_detection(self):
+        coinbase = make_coinbase(50, b"\x01" * 20, height=3)
+        assert coinbase.is_coinbase
+        transfer = Transaction(
+            inputs=(TxInput(outpoint=outpoint()),),
+            outputs=(TxOutput(value=1, address=b"\x02" * 20),),
+        )
+        assert not transfer.is_coinbase
+
+    def test_coinbase_txids_unique_per_height(self):
+        a = make_coinbase(50, b"\x01" * 20, height=1)
+        b = make_coinbase(50, b"\x01" * 20, height=2)
+        assert a.txid != b.txid
+
+    def test_total_output_value(self):
+        tx = Transaction(
+            inputs=(),
+            outputs=(
+                TxOutput(value=3, address=b"\x01" * 20),
+                TxOutput(value=4, address=b"\x02" * 20),
+            ),
+        )
+        assert tx.total_output_value == 7
+
+    def test_size_matches_serialization(self):
+        tx = make_coinbase(50, b"\x01" * 20, height=9, extra=b"hello")
+        assert tx.size_bytes == len(tx.serialize())
+
+    def test_txid_changes_with_payload(self):
+        a = make_coinbase(50, b"\x01" * 20, height=1, extra=b"a")
+        b = make_coinbase(50, b"\x01" * 20, height=1, extra=b"b")
+        assert a.txid != b.txid
+
+
+class TestSerialization:
+    def test_roundtrip_coinbase(self):
+        tx = make_coinbase(50, b"\x01" * 20, height=12, extra=b"data")
+        assert Transaction.deserialize(tx.serialize()) == tx
+
+    def test_roundtrip_signed_transfer(self):
+        sender = KeyPair.from_seed(0)
+        tx = make_signed_transfer(
+            sender,
+            [(outpoint(), 100)],
+            recipient_address=KeyPair.from_seed(1).address,
+            amount=30,
+        )
+        restored = Transaction.deserialize(tx.serialize())
+        assert restored == tx
+        assert restored.txid == tx.txid
+
+    def test_truncated_encoding_rejected(self):
+        raw = make_coinbase(50, b"\x01" * 20, height=1).serialize()
+        with pytest.raises(ValidationError):
+            Transaction.deserialize(raw[:-2])
+
+    def test_trailing_bytes_rejected(self):
+        raw = make_coinbase(50, b"\x01" * 20, height=1).serialize()
+        with pytest.raises(ValidationError):
+            Transaction.deserialize(raw + b"\x00")
+
+    @given(
+        st.integers(0, 2**32 - 1),
+        st.binary(max_size=200),
+        st.integers(1, 2**40),
+    )
+    def test_roundtrip_property(self, lock_height, payload, value):
+        tx = Transaction(
+            inputs=(),
+            outputs=(TxOutput(value=value, address=b"\x07" * 20),),
+            payload=payload,
+            lock_height=lock_height,
+        )
+        assert Transaction.deserialize(tx.serialize()) == tx
+
+
+class TestSignedTransfer:
+    def test_signature_covers_digest(self):
+        sender = KeyPair.from_seed(0)
+        tx = make_signed_transfer(
+            sender,
+            [(outpoint(), 100)],
+            recipient_address=KeyPair.from_seed(1).address,
+            amount=40,
+        )
+        assert verify(
+            sender.public_key, tx.signing_digest, tx.inputs[0].signature
+        )
+
+    def test_change_returns_to_sender(self):
+        sender = KeyPair.from_seed(0)
+        recipient = KeyPair.from_seed(1)
+        tx = make_signed_transfer(
+            sender, [(outpoint(), 100)], recipient.address, amount=40
+        )
+        assert tx.outputs[0].value == 40
+        assert tx.outputs[0].address == recipient.address
+        assert tx.outputs[1].value == 60
+        assert tx.outputs[1].address == sender.address
+
+    def test_exact_spend_has_no_change(self):
+        sender = KeyPair.from_seed(0)
+        tx = make_signed_transfer(
+            sender,
+            [(outpoint(), 100)],
+            KeyPair.from_seed(1).address,
+            amount=100,
+        )
+        assert len(tx.outputs) == 1
+
+    def test_consumes_outputs_front_to_back(self):
+        sender = KeyPair.from_seed(0)
+        spendable = [(outpoint(b"a"), 30), (outpoint(b"b"), 30), (outpoint(b"c"), 30)]
+        tx = make_signed_transfer(
+            sender, spendable, KeyPair.from_seed(1).address, amount=50
+        )
+        assert len(tx.inputs) == 2  # 30 + 30 covers 50
+
+    def test_insufficient_funds_raises(self):
+        sender = KeyPair.from_seed(0)
+        with pytest.raises(ValidationError):
+            make_signed_transfer(
+                sender,
+                [(outpoint(), 10)],
+                KeyPair.from_seed(1).address,
+                amount=11,
+            )
+
+    def test_non_positive_amount_raises(self):
+        sender = KeyPair.from_seed(0)
+        with pytest.raises(ValidationError):
+            make_signed_transfer(
+                sender, [(outpoint(), 10)], b"\x01" * 20, amount=0
+            )
+
+    def test_signing_digest_excludes_signature(self):
+        """Digest must be identical pre- and post-signing."""
+        sender = KeyPair.from_seed(0)
+        tx = make_signed_transfer(
+            sender, [(outpoint(), 100)], b"\x01" * 20, amount=10
+        )
+        unsigned = Transaction(
+            inputs=tuple(
+                TxInput(outpoint=i.outpoint) for i in tx.inputs
+            ),
+            outputs=tx.outputs,
+            payload=tx.payload,
+            lock_height=tx.lock_height,
+        )
+        assert unsigned.signing_digest == tx.signing_digest
