@@ -31,6 +31,7 @@ def render_deployment_report(deployment, title: str = "Deployment report") -> st
     sections.append(_section_population(deployment))
     sections.append(_section_storage(deployment))
     sections.append(_section_traffic(deployment))
+    sections.append(_section_router(deployment))
     sections.append(_section_verification(deployment))
     sections.append(_section_latency(deployment))
     sections.append(_section_events(deployment))
@@ -100,6 +101,38 @@ def _section_traffic(deployment) -> str:
     return "## Traffic\n\n" + _md_table(
         ["message kind", "messages", "bytes"], rows
     )
+
+
+def _section_router(deployment) -> str:
+    stats = getattr(deployment.metrics, "router_stats", None)
+    if stats is None or not stats.total_sends:
+        return ""
+    rows = [
+        (
+            kind,
+            stats.sends.get(kind, 0),
+            format_bytes(stats.send_bytes.get(kind, 0)),
+            stats.deliveries.get(kind, 0),
+        )
+        for kind in sorted(set(stats.sends) | set(stats.deliveries))
+    ]
+    rows.append(
+        (
+            "TOTAL",
+            stats.total_sends,
+            format_bytes(sum(stats.send_bytes.values())),
+            stats.total_deliveries,
+        )
+    )
+    table = _md_table(
+        ["message kind", "sends", "sent bytes", "deliveries"], rows
+    )
+    tail = (
+        f"\nFinalize events observed: {stats.finalize_events}."
+        "\n(Sends count node-initiated messages; gossip relays enter the"
+        " network directly and appear under deliveries and Traffic only.)"
+    )
+    return "## Router activity\n\n" + table + tail
 
 
 def _section_verification(deployment) -> str:

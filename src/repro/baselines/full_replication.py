@@ -3,6 +3,9 @@
 The Bitcoin-style deployment the paper's storage numbers are measured
 against.  Blocks flood the random peer graph by announce/request/deliver
 gossip; every node runs full validation and keeps every body forever.
+Message dispatch goes through the deployment's shared
+:class:`~repro.protocols.router.MessageRouter` — handlers are registered
+at construction, and finalizations publish on the router's hooks.
 """
 
 from __future__ import annotations
@@ -20,6 +23,7 @@ from repro.net.gossip import GossipProtocol
 from repro.net.topology import random_regular
 from repro.node.base import BaseNode
 from repro.node.fullnode import FullNode
+from repro.protocols.router import FinalizeEvent
 
 
 class FullReplicationDeployment(StorageDeployment):
@@ -52,13 +56,20 @@ class FullReplicationDeployment(StorageDeployment):
         self._orphans: dict[int, dict[Hash32, Block]] = {}
         self._queries: dict[int, QueryRecord] = {}
         self._next_request_id = 0
-        self._block_gossip = GossipProtocol(
+        self._block_gossip: GossipProtocol[Block] = GossipProtocol(
             network=self.network,
             announce_kind=MessageKind.BLOCK_ANNOUNCE,
             request_kind=MessageKind.BLOCK_REQUEST,
             item_kind=MessageKind.BLOCK_BODY,
-            item_size=lambda block: block.size_bytes,  # type: ignore[attr-defined]
+            item_size=lambda block: block.size_bytes,
             on_item=self._on_block,
+        )
+        self.router.register_gossip(self._block_gossip, owner="block-gossip")
+        self.router.register(
+            MessageKind.SYNC_REQUEST, self._serve_sync, owner="sync"
+        )
+        self.router.register(
+            MessageKind.SYNC_BODIES, self._on_sync_bodies, owner="sync"
         )
 
     # -------------------------------------------------------- dissemination
@@ -70,8 +81,7 @@ class FullReplicationDeployment(StorageDeployment):
         self._accept_at(proposer_id, block)
         self._block_gossip.publish(proposer_id, block.block_hash, block)
 
-    def _on_block(self, node_id: int, block: object) -> None:
-        assert isinstance(block, Block)
+    def _on_block(self, node_id: int, block: Block) -> None:
         self._accept_at(node_id, block)
 
     def _accept_at(self, node_id: int, block: Block) -> None:
@@ -86,13 +96,18 @@ class FullReplicationDeployment(StorageDeployment):
         if not applied:
             return
         self.metrics.costs.charge_full_validation(block)
-        self.metrics.record_node_final(
-            block.block_hash, node_id, self.network.now
+        # Full replication has no clusters; the whole network is "cluster
+        # 0" — the first node to apply a block stamps its cluster-final
+        # time, and benches read per-node times via node_finalized_at.
+        self.router.notify_finalize(
+            FinalizeEvent(
+                block_hash=block.block_hash,
+                node_id=node_id,
+                cluster_id=0,
+                accepted=True,
+                at=self.network.now,
+            )
         )
-        # Full replication has no clusters; treat each node as its own
-        # "cluster 0" share — the finalize latency of a block is when the
-        # last node applied it, which benches read via node_finalized_at.
-        self.metrics.record_cluster_final(block.block_hash, 0, self.network.now)
         self._retry_orphans(node_id)
 
     def _retry_orphans(self, node_id: int) -> None:
@@ -108,16 +123,6 @@ class FullReplicationDeployment(StorageDeployment):
         for block in ready:
             del orphans[block.block_hash]
             self._accept_at(node_id, block)
-
-    # ------------------------------------------------------------ messages
-    def on_message(self, node: BaseNode, message: Message) -> None:
-        """Route a delivered message (gossip or sync)."""
-        if self._block_gossip.handle(message):
-            return
-        if message.kind == MessageKind.SYNC_REQUEST:
-            self._serve_sync(node, message)
-        elif message.kind == MessageKind.SYNC_BODIES:
-            self._on_sync_bodies(node, message)
 
     # -------------------------------------------------------------- queries
     def retrieve_block(

@@ -35,6 +35,7 @@ from repro.net.gossip import GossipProtocol
 from repro.net.topology import clustered_topology
 from repro.node.base import BaseNode
 from repro.node.clusternode import ClusterNode
+from repro.protocols.router import FinalizeEvent
 
 
 class RapidChainDeployment(StorageDeployment):
@@ -89,13 +90,28 @@ class RapidChainDeployment(StorageDeployment):
         self._queries: dict[int, QueryRecord] = {}
         self._next_request_id = 0
         self._pending_join: tuple[int, BootstrapReport] | None = None
-        self._header_gossip = GossipProtocol(
+        self._header_gossip: GossipProtocol[BlockHeader] = GossipProtocol(
             network=self.network,
             announce_kind=MessageKind.BLOCK_ANNOUNCE,
             request_kind=MessageKind.HEADER_REQUEST,
             item_kind=MessageKind.BLOCK_HEADER,
             item_size=lambda header: HEADER_SIZE,
             on_item=self._on_header,
+        )
+        self.router.register_gossip(
+            self._header_gossip, owner="header-gossip"
+        )
+        self.router.register(
+            MessageKind.BLOCK_BODY, self._on_block_body, owner="committee"
+        )
+        self.router.register(
+            MessageKind.BLOCK_REQUEST, self._on_block_request, owner="query"
+        )
+        self.router.register(
+            MessageKind.SYNC_REQUEST, self._serve_sync, owner="sync"
+        )
+        self.router.register(
+            MessageKind.SYNC_BODIES, self._on_sync_bodies, owner="sync"
         )
         self._seed_genesis(genesis)
 
@@ -148,11 +164,10 @@ class RapidChainDeployment(StorageDeployment):
                 block.size_bytes,
             )
 
-    def _on_header(self, node_id: int, header: object) -> None:
+    def _on_header(self, node_id: int, header: BlockHeader) -> None:
         node = self.nodes.get(node_id)
         if node is None:
             return
-        assert isinstance(header, BlockHeader)
         self._index_header(node, header)
 
     def _index_header(self, node: ClusterNode, header: BlockHeader) -> None:
@@ -208,8 +223,17 @@ class RapidChainDeployment(StorageDeployment):
             return
         node.assign_body(block)
         node.finalize(block_hash)
-        self.metrics.record_node_final(
-            block_hash, node.node_id, self.network.now
+        # Per-node finality only — the committee is final at quorum, not
+        # when any single member finishes validating.
+        self.router.notify_finalize(
+            FinalizeEvent(
+                block_hash=block_hash,
+                node_id=node.node_id,
+                cluster_id=node.cluster_id,
+                accepted=True,
+                at=self.network.now,
+                cluster_final=False,
+            )
         )
         validated = self._validated_count.setdefault(
             (node.cluster_id, block_hash), set()
@@ -219,39 +243,41 @@ class RapidChainDeployment(StorageDeployment):
             len(self.committees.members_of(node.cluster_id))
         )
         if len(validated) == quorum:
-            self.metrics.record_cluster_final(
-                block_hash, node.cluster_id, self.network.now
+            self.router.notify_finalize(
+                FinalizeEvent(
+                    block_hash=block_hash,
+                    node_id=None,
+                    cluster_id=node.cluster_id,
+                    accepted=True,
+                    at=self.network.now,
+                )
             )
 
     # ------------------------------------------------------------ messages
-    def on_message(self, node: BaseNode, message: Message) -> None:
-        """Route a delivered message (gossip, body, query, sync)."""
-        if self._header_gossip.handle(message):
-            return
+    def _on_block_body(self, node: BaseNode, message: Message) -> None:
+        """A committee body delivery or a served cross-shard read."""
         assert isinstance(node, ClusterNode)
-        if message.kind == MessageKind.BLOCK_BODY:
-            tag = message.payload[0]
-            if tag == "body":
-                self._on_body(node, message.payload[1])
-            elif tag == "serve":
-                _, request_id, _block = message.payload
-                record = self._queries.get(request_id)
-                if record is not None and record.completed_at is None:
-                    record.completed_at = self.network.now
-        elif message.kind == MessageKind.BLOCK_REQUEST:
-            request_id, block_hash = message.payload
-            if node.store.has_body(block_hash):
-                block = node.store.body(block_hash)
-                node.send(
-                    MessageKind.BLOCK_BODY,
-                    message.sender,
-                    ("serve", request_id, block),
-                    block.size_bytes,
-                )
-        elif message.kind == MessageKind.SYNC_REQUEST:
-            self._serve_sync(node, message)
-        elif message.kind == MessageKind.SYNC_BODIES:
-            self._on_sync_bodies(node, message)
+        tag = message.payload[0]
+        if tag == "body":
+            self._on_body(node, message.payload[1])
+        elif tag == "serve":
+            _, request_id, _block = message.payload
+            record = self._queries.get(request_id)
+            if record is not None and record.completed_at is None:
+                record.completed_at = self.network.now
+
+    def _on_block_request(self, node: BaseNode, message: Message) -> None:
+        """A home-committee member serves a cross-shard read."""
+        assert isinstance(node, ClusterNode)
+        request_id, block_hash = message.payload
+        if node.store.has_body(block_hash):
+            block = node.store.body(block_hash)
+            node.send(
+                MessageKind.BLOCK_BODY,
+                message.sender,
+                ("serve", request_id, block),
+                block.size_bytes,
+            )
 
     # -------------------------------------------------------------- queries
     def retrieve_block(

@@ -39,7 +39,8 @@ from repro.net.message import MessageKind
 from repro.node.clusternode import ClusterNode
 
 if TYPE_CHECKING:  # pragma: no cover
-    from repro.core.icistrategy import ICIDeployment, _BootstrapState
+    from repro.core.icistrategy import ICIDeployment
+    from repro.protocols.sync import BootstrapState
 
 
 def start_bootstrap(deployment: "ICIDeployment") -> BootstrapReport:
@@ -50,7 +51,7 @@ def start_bootstrap(deployment: "ICIDeployment") -> BootstrapReport:
     Raises:
         BootstrapError: when no online contact exists in the target cluster.
     """
-    from repro.core.icistrategy import _BootstrapState
+    from repro.protocols.sync import BootstrapState
 
     new_id = max(deployment.nodes) + 1
     cluster_id = deployment.clusters.smallest_cluster()
@@ -68,7 +69,7 @@ def start_bootstrap(deployment: "ICIDeployment") -> BootstrapReport:
     node.attach(deployment)
     deployment.nodes[new_id] = node
     deployment.public_keys[new_id] = node.keypair.public_key
-    deployment._install_topology()
+    deployment.install_topology()
 
     report = BootstrapReport(
         node_id=new_id,
@@ -76,10 +77,10 @@ def start_bootstrap(deployment: "ICIDeployment") -> BootstrapReport:
         started_at=deployment.network.now,
     )
     deployment.metrics.bootstraps.append(report)
-    state = _BootstrapState(
+    state = BootstrapState(
         report=report, contact=contact, old_members=old_members
     )
-    deployment._bootstraps[new_id] = state
+    deployment.sync.bootstraps[new_id] = state
 
     node.send(
         MessageKind.SYNC_REQUEST,
@@ -92,7 +93,7 @@ def start_bootstrap(deployment: "ICIDeployment") -> BootstrapReport:
 
 def continue_bootstrap_with_headers(
     deployment: "ICIDeployment",
-    state: "_BootstrapState",
+    state: "BootstrapState",
     headers: Sequence[BlockHeader],
     snapshot: bytes = b"",
 ) -> None:
@@ -150,7 +151,7 @@ def continue_bootstrap_with_headers(
 
 def continue_bootstrap_with_bodies(
     deployment: "ICIDeployment",
-    state: "_BootstrapState",
+    state: "BootstrapState",
     source: int,
     blocks: Sequence,
 ) -> None:
@@ -177,7 +178,7 @@ def continue_bootstrap_with_bodies(
 
 
 def _maybe_complete(
-    deployment: "ICIDeployment", state: "_BootstrapState"
+    deployment: "ICIDeployment", state: "BootstrapState"
 ) -> None:
     if state.pending_sources or state.expected_bodies:
         return
@@ -191,11 +192,11 @@ def _maybe_complete(
                 block_hash
             )
     _prune_displaced_holders(deployment, state)
-    deployment._bootstraps.pop(state.report.node_id, None)
+    deployment.sync.bootstraps.pop(state.report.node_id, None)
 
 
 def _prune_displaced_holders(
-    deployment: "ICIDeployment", state: "_BootstrapState"
+    deployment: "ICIDeployment", state: "BootstrapState"
 ) -> None:
     """Old holders release the bodies the joiner now owns (post-confirm)."""
     node = deployment.nodes[state.report.node_id]
@@ -221,7 +222,7 @@ def _prune_displaced_holders(
 
 def _apply_peer_migration(
     deployment: "ICIDeployment",
-    state: "_BootstrapState",
+    state: "BootstrapState",
     header: BlockHeader,
     old_holders: tuple[int, ...],
     new_holders: tuple[int, ...],

@@ -86,7 +86,7 @@ def send_compact(
         # The proposer already holds the full block it just built — no
         # reconstruction round trip; go straight to validation.
         node = deployment.nodes[recipient]
-        deployment._on_body(node, block, fan_out=False)
+        deployment.dissemination.on_body(node, block, fan_out=False)
         return
     sender.send(
         MessageKind.BLOCK_BODY,
@@ -105,7 +105,7 @@ def on_compact(
 ) -> None:
     """A holder received a compact announcement: reconstruct or fetch."""
     key = (node.node_id, header.block_hash)
-    if key in deployment._pending_compact or node.store.has_body(
+    if key in deployment.dissemination.pending_compact or node.store.has_body(
         header.block_hash
     ):
         return
@@ -120,7 +120,7 @@ def on_compact(
     if not missing:
         _complete(deployment, node, key, pending)
         return
-    deployment._pending_compact[key] = pending
+    deployment.dissemination.pending_compact[key] = pending
     node.send(
         MessageKind.CONTROL,
         origin,
@@ -156,7 +156,7 @@ def on_txfill(
     """Missing transactions arrived: finish reconstruction."""
     _tag, block_hash, transactions = payload
     key = (node.node_id, block_hash)
-    pending = deployment._pending_compact.get(key)
+    pending = deployment.dissemination.pending_compact.get(key)
     if pending is None:
         return
     for tx in transactions:
@@ -164,7 +164,7 @@ def on_txfill(
             pending.have[tx.txid] = tx
             deployment.compact_stats.transactions_fetched += 1
     if not pending.missing:
-        del deployment._pending_compact[key]
+        del deployment.dissemination.pending_compact[key]
         _complete(deployment, node, key, pending)
 
 
@@ -177,4 +177,4 @@ def _complete(
     block = pending.assemble()
     if not block.verify_merkle_commitment():
         return  # sender lied about the body; drop and let retries handle it
-    deployment._on_body(node, block, fan_out=False)
+    deployment.dissemination.on_body(node, block, fan_out=False)

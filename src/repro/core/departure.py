@@ -64,7 +64,7 @@ class _RepairSession:
             self.report.bytes_moved += block.size_bytes
         if not owed:
             del self.expected[node.node_id]
-            self.deployment._sync_sessions.pop(node.node_id, None)
+            self.deployment.sync.sessions.pop(node.node_id, None)
         self._maybe_finish()
 
     def _maybe_finish(self) -> None:
@@ -151,7 +151,7 @@ def _begin(
         expected.setdefault(target, set()).update(hashes)
     session = _RepairSession(deployment, report, expected, prune_plan)
     for target in expected:
-        deployment._sync_sessions[target] = session.on_bodies
+        deployment.sync.sessions[target] = session.on_bodies
     for (source, target), hashes in transfers.items():
         deployment.nodes[target].send(
             MessageKind.SYNC_REQUEST,
@@ -272,4 +272,4 @@ def _remove_member(deployment: "ICIDeployment", node_id: int) -> None:
     deployment.network.unregister(node_id)
     deployment.nodes.pop(node_id, None)
     deployment.public_keys.pop(node_id, None)
-    deployment._install_topology()
+    deployment.install_topology()

@@ -1,16 +1,13 @@
 """ICIStrategy — the paper's contribution, as a runnable deployment.
 
-The deployment wires ``n`` cluster nodes onto a simulated network:
-
-* nodes are partitioned into clusters (config-selected algorithm);
-* the overlay is a full mesh inside each cluster plus sparse bridges;
-* block **headers** reach every node by gossip flooding;
-* block **bodies** go only to each cluster's placement-assigned holders;
-* holders fully validate and attest (PREPARE); members commit after a
-  holder majority; a Byzantine quorum of commits finalizes the block
-  inside the cluster (optionally via an aggregator, O(m) messages);
-* any member retrieves a body it lacks from an in-cluster holder;
-* a joining node downloads headers plus only its assigned bodies.
+The deployment wires ``n`` cluster nodes (full mesh inside each cluster,
+sparse bridges between them) onto a simulated network.  The class itself
+is a thin facade: protocol behaviour lives in four engines under
+:mod:`repro.protocols` — dissemination (header/tx gossip + body routing
++ forks), verification (prepare/commit/result voting), query (retrievals
++ SPV), and sync (join/leave/crash repair) — all dispatching through the
+deployment's :class:`~repro.protocols.router.MessageRouter`.  Each engine
+module documents its slice of the wire protocol.
 
 One canonical validating :class:`~repro.chain.chainstore.Ledger` tracks
 chain state for stateful checks — the simulator shortcut documented in
@@ -21,10 +18,9 @@ instead of ``n × chain length``).
 
 from __future__ import annotations
 
-from repro.chain.block import Block, BlockHeader, HEADER_SIZE
+from repro.chain.block import Block, BlockHeader
 from repro.chain.chainstore import Ledger
 from repro.chain.genesis import make_genesis
-from repro.chain.validation import ValidationError
 from repro.clustering.algorithms import (
     ClusteringAlgorithm,
     KMeansClustering,
@@ -33,26 +29,15 @@ from repro.clustering.algorithms import (
 )
 from repro.clustering.coordinates import Coordinate
 from repro.clustering.membership import ClusterTable
-from repro.consensus.quorum import Vote, byzantine_quorum
 from repro.core.config import ICIConfig
 from repro.core.interface import StorageDeployment
 from repro.core.metrics import BootstrapReport, QueryRecord
-from repro.core.verification import (
-    CommitVote,
-    PrepareAttestation,
-    QuorumCertificate,
-)
 from repro.crypto.hashing import Hash32
-from repro.errors import (
-    ConfigurationError,
-    UnknownBlockError,
-)
-from repro.net.message import Message, MessageKind
+from repro.errors import ConfigurationError
 from repro.net.network import Network
-from repro.net.gossip import GossipProtocol
 from repro.net.topology import clustered_topology
-from repro.node.base import BaseNode
 from repro.node.clusternode import ClusterNode
+from repro.protocols.query import QUERY_TIMEOUT, SYNC_REQUEST_BYTES
 from repro.storage.placement import (
     CapacityWeightedPlacement,
     ModuloSlotPlacement,
@@ -61,10 +46,7 @@ from repro.storage.placement import (
     RoundRobinPlacement,
 )
 
-#: Seconds a requester waits for a holder before trying the next one.
-QUERY_TIMEOUT = 2.0
-#: Bytes of a sync-request control message payload.
-SYNC_REQUEST_BYTES = 64
+__all__ = ["ICIDeployment", "QUERY_TIMEOUT", "SYNC_REQUEST_BYTES"]
 
 
 def _make_placement(config: ICIConfig) -> PlacementPolicy:
@@ -102,9 +84,8 @@ class ICIDeployment(StorageDeployment):
         network: pre-built fabric; a default one is created when omitted.
         coordinates: per-node plane positions, required by the
             coordinate-aware clustering algorithms.
-        genesis: ledger genesis; a single-faucet genesis is built when
-            omitted (faucet key = seed 0's wallet, matching the workload
-            generator's default).
+        genesis: ledger genesis; a single-faucet genesis (faucet = seed
+            0's wallet, the workload generator's default) when omitted.
     """
 
     def __init__(
@@ -147,62 +128,25 @@ class ICIDeployment(StorageDeployment):
             node_id: node.keypair.public_key
             for node_id, node in self.nodes.items()
         }
-        self._install_topology()
+        self.install_topology()
 
-        # --- protocol state ----------------------------------------------
-        self._block_valid: dict[Hash32, bool] = {}
-        # Side-branch blocks (valid statelessly, not on the active chain),
-        # kept until a longer branch triggers a reorg.
-        self._side_blocks: dict[Hash32, Block] = {}
-        self.reorg_count = 0
+        # --- protocol engines --------------------------------------------
         # Fault injection: node id -> behaviour ("vote_reject" lies about
         # validity; "silent" withholds every protocol vote).
         self.byzantine: dict[int, str] = {}
-        self._validated_bodies: dict[tuple[int, Hash32], bool] = {}
-        self._pending_votes: dict[
-            tuple[int, Hash32], list[tuple[str, object]]
-        ] = {}
-        self._orphan_bodies: dict[int, dict[Hash32, Block]] = {}
-        self._orphan_headers: dict[int, dict[Hash32, BlockHeader]] = {}
-        self._collected_commits: dict[
-            tuple[int, Hash32], list[CommitVote]
-        ] = {}
-        self._result_sent: set[tuple[int, Hash32]] = set()
-        self._queries: dict[int, QueryRecord] = {}
-        self._query_plan: dict[int, list[int]] = {}
-        self._next_request_id = 0
-        self._bootstraps: dict[int, _BootstrapState] = {}
-        # Generic SYNC_BODIES consumers (departure repair, parity repair):
-        # recipient node id -> callback(node, sender, blocks).
-        self._sync_sessions: dict[int, object] = {}
-        # Compact-block reconstruction state.
-        from repro.core.compact import CompactStats
+        # Deferred imports: the engines import repro.core submodules, so
+        # importing them at module scope would recurse while this package
+        # is still initializing.
+        from repro.protocols.dissemination import DisseminationEngine
+        from repro.protocols.intracluster import IntraClusterEngine
+        from repro.protocols.query import QueryEngine
+        from repro.protocols.sync import SyncEngine
 
-        self._pending_compact: dict = {}
-        self.compact_stats = CompactStats()
-        # SPV light-client service state.
-        self.light_clients: dict[int, object] = {}
-        self._light_contacts: dict[int, int] = {}
-        self._spv_records: dict[int, object] = {}
-        self._next_spv_id = 0
-        self.metrics_spv: list = []
+        self.dissemination = self.install_engine(DisseminationEngine(self))
+        self.verification = self.install_engine(IntraClusterEngine(self))
+        self.query = self.install_engine(QueryEngine(self))
+        self.sync = self.install_engine(SyncEngine(self))
 
-        self._header_gossip = GossipProtocol(
-            network=self.network,
-            announce_kind=MessageKind.BLOCK_ANNOUNCE,
-            request_kind=MessageKind.HEADER_REQUEST,
-            item_kind=MessageKind.BLOCK_HEADER,
-            item_size=lambda header: HEADER_SIZE,
-            on_item=self._on_header_gossiped,
-        )
-        self._tx_gossip = GossipProtocol(
-            network=self.network,
-            announce_kind=MessageKind.TX_ANNOUNCE,
-            request_kind=MessageKind.TX_REQUEST,
-            item_kind=MessageKind.TX_BODY,
-            item_size=lambda tx: tx.size_bytes,  # type: ignore[attr-defined]
-            on_item=self._on_transaction_gossiped,
-        )
         if self.config.parity_group_size:
             from repro.core.parity import ParityManager
 
@@ -214,7 +158,8 @@ class ICIDeployment(StorageDeployment):
         self._seed_genesis(genesis)
 
     # ------------------------------------------------------------ plumbing
-    def _install_topology(self) -> None:
+    def install_topology(self) -> None:
+        """(Re)build the clustered overlay after any membership change."""
         members_by_cluster = [
             list(view.members) for view in self.clusters.views()
         ]
@@ -231,7 +176,7 @@ class ICIDeployment(StorageDeployment):
         for node in self.nodes.values():
             node.store.add_header(genesis.header)
             node.finalize(genesis.block_hash)
-        self._block_valid[genesis.block_hash] = True
+        self.dissemination.block_valid[genesis.block_hash] = True
         for view in self.clusters.views():
             for holder in self.placement.holders(
                 genesis.header, view.members, self.config.replication
@@ -252,493 +197,40 @@ class ICIDeployment(StorageDeployment):
             self.config.replication,
         )
 
-    def _aggregator_for(self, header: BlockHeader, cluster_id: int) -> int:
+    def aggregator_for(self, header: BlockHeader, cluster_id: int) -> int:
         """The commit aggregator: the block's primary holder."""
         return self.holders_in_cluster(header, cluster_id)[0]
 
-    # -------------------------------------------------------- dissemination
+    # ------------------------------------------------- delegating facades
     def disseminate(self, block: Block, proposer_id: int) -> None:
         """Inject a sealed block at its proposer (see interface docs)."""
-        if proposer_id not in self.nodes:
-            raise UnknownBlockError(f"unknown proposer {proposer_id}")
-        block_hash = block.block_hash
-        self.metrics.record_submit(block_hash, self.network.now)
-        self._block_valid[block_hash] = self._canonical_accept(block)
+        self.dissemination.disseminate(block, proposer_id)
 
-        proposer = self.nodes[proposer_id]
-        self._header_gossip.publish(proposer_id, block_hash, block.header)
-        self._note_header(proposer, block.header)
+    def submit_transaction(self, tx, origin_id: int) -> bool:
+        """Inject a wallet transaction at a node; it relays by gossip.
 
-        compact = (
-            self.config.compact_blocks and self.config.verify_collaboratively
-        )
-        if compact:
-            # The proposer serves missing-transaction fetches until the
-            # block finalizes (non-holders prune then).
-            proposer.store.add_body(block)
-        for view in self.clusters.views():
-            holders = self.placement.holders(
-                block.header, view.members, self.config.replication
-            )
-            if compact:
-                from repro.core.compact import send_compact
+        Returns ``False`` on a duplicate; raises ``ValidationError`` when
+        the transaction is invalid against the canonical chain state.
+        """
+        return self.dissemination.submit_transaction(tx, origin_id)
 
-                for holder in holders:
-                    send_compact(self, proposer, holder, block)
-            elif self.config.verify_collaboratively:
-                for holder in holders:
-                    self._send_body(proposer, holder, block)
-            else:
-                # Ablation: primary fans the body out to every member.
-                self._send_body(proposer, holders[0], block, fan_out=True)
+    def retrieve_block(
+        self, requester_id: int, block_hash: Hash32
+    ) -> QueryRecord:
+        """Fetch a block body from in-cluster holders (see interface docs)."""
+        return self.query.retrieve_block(requester_id, block_hash)
 
-    def _canonical_accept(self, block: Block) -> bool:
-        from repro.chain.validation import check_block_stateless
-        from repro.errors import ForkError
+    def join_new_node(self) -> BootstrapReport:
+        """Admit a brand-new node (see interface and bootstrap module docs)."""
+        return self.sync.join_new_node()
 
-        try:
-            self.ledger.accept_block(block)
-            return True
-        except ValidationError:
-            return False
-        except ForkError:
-            pass  # competing branch; handled below
-        # Side-branch block: full stateful validation happens at reorg
-        # time (the branch's UTXO state does not exist yet); holders
-        # attest on the stateless rules, as real nodes do for stale tips.
-        try:
-            check_block_stateless(block, self.config.limits)
-        except ValidationError:
-            return False
-        if not self.ledger.store.has_header(block.header.prev_hash):
-            return False  # detached from everything we know
-        self._side_blocks[block.block_hash] = block
-        self.ledger.store.add_body(block)
-        self._maybe_reorg(block)
-        return True
+    def leave_node(self, node_id: int):
+        """Gracefully retire a member (see :mod:`repro.core.departure`)."""
+        return self.sync.leave_node(node_id)
 
-    def _maybe_reorg(self, tip: Block) -> None:
-        """Switch the canonical chain when a side branch gets longer."""
-        from repro.errors import ForkError
-
-        if tip.header.height <= self.ledger.height:
-            return
-        branch: list[Block] = []
-        cursor = tip
-        while cursor.block_hash in self._side_blocks:
-            branch.append(cursor)
-            parent = self._side_blocks.get(cursor.header.prev_hash)
-            if parent is None:
-                break
-            cursor = parent
-        branch.reverse()
-        if not branch:
-            return
-        # Remember the soon-to-be-stale canonical blocks: a later re-reorg
-        # back onto them must be able to reassemble that branch.
-        attach_hash = branch[0].header.prev_hash
-        stale: list[Block] = []
-        cursor_header = self.ledger.tip
-        while (
-            cursor_header is not None
-            and cursor_header.block_hash != attach_hash
-            and not cursor_header.is_genesis
-        ):
-            if self.ledger.store.has_body(cursor_header.block_hash):
-                stale.append(
-                    self.ledger.store.body(cursor_header.block_hash)
-                )
-            cursor_header = self.ledger.store.header(
-                cursor_header.prev_hash
-            )
-        try:
-            self.ledger.reorg_to(branch)
-        except (ValidationError, ForkError):
-            # Branch is stateful-invalid or does not attach: mark it bad
-            # so clusters that have not finalized yet reject it.
-            for block in branch:
-                self._block_valid[block.block_hash] = False
-            return
-        self.reorg_count += 1
-        for block in branch:
-            self._side_blocks.pop(block.block_hash, None)
-        for block in stale:
-            self._side_blocks[block.block_hash] = block
-
-    def _send_body(
-        self,
-        sender: BaseNode,
-        recipient: int,
-        block: Block,
-        fan_out: bool = False,
-    ) -> None:
-        if recipient == sender.node_id:
-            self._on_body(self.nodes[recipient], block, fan_out)
-            return
-        tag = "body-fanout" if fan_out else "body"
-        sender.send(
-            MessageKind.BLOCK_BODY,
-            recipient,
-            (tag, block),
-            block.size_bytes,
-        )
-
-    # ------------------------------------------------------------ messages
-    def on_message(self, node: BaseNode, message: Message) -> None:
-        """Router installed on every node (see :class:`BaseNode`)."""
-        if self._header_gossip.handle(message):
-            return
-        if self._tx_gossip.handle(message):
-            return
-        if message.kind == MessageKind.CONTROL:
-            self._route_control(node, message)
-            return
-        assert isinstance(node, ClusterNode)
-        kind = message.kind
-        if self.byzantine.get(node.node_id) == "silent" and kind in (
-            MessageKind.VERIFY_PREPARE,
-            MessageKind.VERIFY_COMMIT,
-            MessageKind.VERIFY_RESULT,
-        ):
-            return  # a silent node does not participate in verification
-        if kind == MessageKind.BLOCK_BODY:
-            self._route_body(node, message)
-        elif kind == MessageKind.VERIFY_PREPARE:
-            self._apply_prepare(node, message.payload)
-        elif kind == MessageKind.VERIFY_COMMIT:
-            self._apply_commit(node, message.payload)
-        elif kind == MessageKind.VERIFY_RESULT:
-            self._apply_result(node, message.payload)
-        elif kind == MessageKind.BLOCK_REQUEST:
-            self._serve_query(node, message)
-        elif kind == MessageKind.SYNC_REQUEST:
-            self._serve_sync(node, message)
-        elif kind == MessageKind.SYNC_HEADERS:
-            self._on_sync_headers(node, message)
-        elif kind == MessageKind.SYNC_BODIES:
-            self._on_sync_bodies(node, message)
-
-    def _route_body(self, node: ClusterNode, message: Message) -> None:
-        tag = message.payload[0]
-        if tag in ("body", "body-fanout"):
-            self._on_body(node, message.payload[1], tag == "body-fanout")
-        elif tag == "compact":
-            from repro.core.compact import on_compact
-
-            _, header, txids = message.payload
-            on_compact(self, node, header, txids, message.sender)
-        elif tag == "serve":
-            _, request_id, block = message.payload
-            self._on_query_served(node, request_id, block)
-        elif tag == "miss":
-            _, request_id = message.payload
-            self._retry_query(request_id)
-
-    # ----------------------------------------------------- header handling
-    def _on_header_gossiped(self, node_id: int, header: object) -> None:
-        node = self.nodes.get(node_id)
-        if node is not None:
-            assert isinstance(header, BlockHeader)
-            self._note_header(node, header)
-
-    def _note_header(self, node: ClusterNode, header: BlockHeader) -> None:
-        """Index a learned header, charge the header check, open the round."""
-        try:
-            added = node.store.add_header(header)
-        except ValidationError:
-            # Parent still in flight: buffer and retry when it lands.
-            self._orphan_headers.setdefault(node.node_id, {})[
-                header.prev_hash
-            ] = header
-            return
-        if not added:
-            return
-        self.metrics.costs.charge_header_check()
-        self._ensure_round(node, header)
-        self._replay_pending(node, header.block_hash)
-        self._retry_orphan_bodies(node)
-        child = self._orphan_headers.get(node.node_id, {}).pop(
-            header.block_hash, None
-        )
-        if child is not None:
-            self._note_header(node, child)
-
-    def _ensure_round(self, node: ClusterNode, header: BlockHeader):
-        members = self.clusters.members_of(node.cluster_id)
-        holders = self.holders_in_cluster(header, node.cluster_id)
-        return node.round_for(header, members, holders)
-
-    def _replay_pending(self, node: ClusterNode, block_hash: Hash32) -> None:
-        pending = self._pending_votes.pop((node.node_id, block_hash), [])
-        for tag, payload in pending:
-            if tag == "prepare":
-                self._apply_prepare(node, payload)  # type: ignore[arg-type]
-            else:
-                self._apply_commit(node, payload)  # type: ignore[arg-type]
-
-    def _retry_orphan_bodies(self, node: ClusterNode) -> None:
-        orphans = self._orphan_bodies.get(node.node_id)
-        if not orphans:
-            return
-        ready = [
-            block
-            for block in orphans.values()
-            if node.store.has_header(block.header.prev_hash)
-        ]
-        for block in ready:
-            del orphans[block.block_hash]
-            self._on_body(node, block, fan_out=False)
-
-    # ------------------------------------------------------- body handling
-    def _on_body(
-        self, node: ClusterNode, block: Block, fan_out: bool
-    ) -> None:
-        block_hash = block.block_hash
-        if not node.store.has_header(block.header.prev_hash) and not (
-            block.header.is_genesis
-        ):
-            self._orphan_bodies.setdefault(node.node_id, {})[
-                block_hash
-            ] = block
-            return
-        already = self._validated_bodies.get((node.node_id, block_hash))
-        if already:
-            return
-        self._validated_bodies[(node.node_id, block_hash)] = True
-        self._note_header(node, block.header)
-
-        if fan_out and node.node_id == self._aggregator_for(
-            block.header, node.cluster_id
-        ):
-            for member in self.clusters.members_of(node.cluster_id):
-                if member != node.node_id:
-                    self._send_body(node, member, block, fan_out=True)
-
-        holders = self.holders_in_cluster(block.header, node.cluster_id)
-        is_holder = node.node_id in holders
-        if is_holder:
-            node.assign_body(block)
-        elif not self.config.prune_after_verify or not fan_out:
-            node.store.add_body(block)
-
-        cost = self.metrics.costs.charge_full_validation(block)
-        vote = (
-            Vote.ACCEPT
-            if self._block_valid.get(block_hash, False)
-            else Vote.REJECT
-        )
-        behaviour = self.byzantine.get(node.node_id)
-        if behaviour == "vote_reject":
-            vote = Vote.REJECT  # lie about a valid block
-        elif behaviour == "silent":
-            return  # withhold the attestation entirely
-        if self.config.verify_collaboratively:
-            self.network.clock.schedule(
-                cost,
-                lambda: self._broadcast_prepare(node, block_hash, vote),
-            )
-        else:
-            self.network.clock.schedule(
-                cost,
-                lambda: self._self_commit(node, block.header, vote),
-            )
-
-    def _broadcast_prepare(
-        self, node: ClusterNode, block_hash: Hash32, vote: Vote
-    ) -> None:
-        attestation = PrepareAttestation.create(
-            node.keypair, block_hash, node.node_id, vote
-        )
-        for member in self.clusters.members_of(node.cluster_id):
-            if member == node.node_id:
-                self._apply_prepare(node, attestation)
-            else:
-                node.send(
-                    MessageKind.VERIFY_PREPARE,
-                    member,
-                    attestation,
-                    PrepareAttestation.WIRE_BYTES,
-                )
-
-    def _self_commit(
-        self, node: ClusterNode, header: BlockHeader, vote: Vote
-    ) -> None:
-        """Non-collaborative ablation: commit straight after own validation."""
-        commit = CommitVote.create(
-            node.keypair, header.block_hash, node.node_id, vote
-        )
-        self._dispatch_commit(node, header, commit)
-
-    # ------------------------------------------------- verification voting
-    def _apply_prepare(
-        self, node: ClusterNode, attestation: PrepareAttestation
-    ) -> None:
-        block_hash = attestation.block_hash
-        if not node.store.has_header(block_hash):
-            self._pending_votes.setdefault(
-                (node.node_id, block_hash), []
-            ).append(("prepare", attestation))
-            return
-        key = self.public_keys.get(attestation.holder)
-        if key is None or not attestation.check(key):
-            return
-        header = node.store.header(block_hash)
-        round_ = self._ensure_round(node, header)
-        if round_.on_prepare(attestation.holder, attestation.vote):
-            behaviour = self.byzantine.get(node.node_id)
-            if behaviour == "silent":
-                return
-            vote = round_.my_commit_vote
-            if behaviour == "vote_reject":
-                vote = Vote.REJECT
-            commit = CommitVote.create(
-                node.keypair, block_hash, node.node_id, vote
-            )
-            self._dispatch_commit(node, header, commit)
-
-    def _dispatch_commit(
-        self, node: ClusterNode, header: BlockHeader, commit: CommitVote
-    ) -> None:
-        if self.config.aggregate_votes:
-            aggregator = self._aggregator_for(header, node.cluster_id)
-            if aggregator == node.node_id:
-                self._apply_commit(node, commit)
-            else:
-                node.send(
-                    MessageKind.VERIFY_COMMIT,
-                    aggregator,
-                    commit,
-                    CommitVote.WIRE_BYTES,
-                )
-        else:
-            for member in self.clusters.members_of(node.cluster_id):
-                if member == node.node_id:
-                    self._apply_commit(node, commit)
-                else:
-                    node.send(
-                        MessageKind.VERIFY_COMMIT,
-                        member,
-                        commit,
-                        CommitVote.WIRE_BYTES,
-                    )
-
-    def _apply_commit(self, node: ClusterNode, commit: CommitVote) -> None:
-        block_hash = commit.block_hash
-        if not node.store.has_header(block_hash):
-            self._pending_votes.setdefault(
-                (node.node_id, block_hash), []
-            ).append(("commit", commit))
-            return
-        key = self.public_keys.get(commit.member)
-        if key is None or not commit.check(key):
-            return
-        header = node.store.header(block_hash)
-        round_ = self._ensure_round(node, header)
-        self._collected_commits.setdefault(
-            (node.node_id, block_hash), []
-        ).append(commit)
-        decided = round_.on_commit(
-            commit.member, commit.vote, now=self.network.now
-        )
-        if not decided:
-            return
-        verdict = Vote.ACCEPT if round_.accepted else Vote.REJECT
-        if self.config.aggregate_votes:
-            self._broadcast_result(node, header, verdict)
-        self._finalize(node, block_hash, round_.accepted)
-
-    def _broadcast_result(
-        self, node: ClusterNode, header: BlockHeader, verdict: Vote
-    ) -> None:
-        block_hash = header.block_hash
-        if (node.node_id, block_hash) in self._result_sent:
-            return
-        self._result_sent.add((node.node_id, block_hash))
-        matching = tuple(
-            c
-            for c in self._collected_commits.get(
-                (node.node_id, block_hash), []
-            )
-            if c.vote == verdict
-        )
-        certificate = QuorumCertificate(
-            block_hash=block_hash, vote=verdict, commits=matching
-        )
-        for member in self.clusters.members_of(node.cluster_id):
-            if member != node.node_id:
-                node.send(
-                    MessageKind.VERIFY_RESULT,
-                    member,
-                    certificate,
-                    certificate.wire_bytes,
-                )
-
-    def _apply_result(
-        self, node: ClusterNode, certificate: QuorumCertificate
-    ) -> None:
-        block_hash = certificate.block_hash
-        if node.is_finalized(block_hash):
-            return
-        members = self.clusters.members_of(node.cluster_id)
-        quorum = byzantine_quorum(len(members))
-        if not certificate.check(self.public_keys, quorum):
-            return
-        self._finalize(node, block_hash, certificate.vote is Vote.ACCEPT)
-
-    def _finalize(
-        self, node: ClusterNode, block_hash: Hash32, accepted: bool
-    ) -> None:
-        if node.is_finalized(block_hash):
-            return
-        node.finalize(block_hash)
-        now = self.network.now
-        self.metrics.record_node_final(block_hash, node.node_id, now)
-        first_in_cluster = (
-            block_hash,
-            node.cluster_id,
-        ) not in self.metrics.cluster_finalized_at
-        self.metrics.record_cluster_final(block_hash, node.cluster_id, now)
-        if (
-            first_in_cluster
-            and accepted
-            and self.parity is not None
-            and self.ledger.store.has_body(block_hash)
-        ):
-            self.parity.on_block_final(
-                self, node.cluster_id, self.ledger.store.body(block_hash)
-            )
-        if not accepted:
-            self.metrics.blocks_rejected.add(block_hash)
-            node.store.drop_body(block_hash)
-            return
-        if node.mempool is not None and self.ledger.store.has_body(
-            block_hash
-        ):
-            node.mempool.remove_confirmed(
-                list(self.ledger.store.body(block_hash).transactions)
-            )
-        if self.config.prune_after_verify and not node.is_holder_of(
-            block_hash
-        ):
-            node.store.drop_body(block_hash)
-
-    # ---------------------------------------------------------------- SPV
-    def _route_control(self, node: BaseNode, message: Message) -> None:
-        from repro.core import spv as spv_module
-
-        tag = message.payload[0]
-        if tag == "spv_req" and isinstance(node, ClusterNode):
-            spv_module.handle_spv_request(self, node, message.payload)
-        elif tag in ("spv_resp", "spv_miss"):
-            spv_module.handle_spv_response(self, node, message.payload)
-        elif tag == "txfetch" and isinstance(node, ClusterNode):
-            from repro.core.compact import on_txfetch
-
-            on_txfetch(self, node, message.payload)
-        elif tag == "txfill" and isinstance(node, ClusterNode):
-            from repro.core.compact import on_txfill
-
-            on_txfill(self, node, message.payload)
+    def repair_after_crash(self, node_id: int):
+        """Re-replicate a crashed member's blocks from survivors."""
+        return self.sync.repair_after_crash(node_id)
 
     def attach_light_client(self):
         """Register a headers-only SPV client (see :mod:`repro.core.spv`)."""
@@ -752,7 +244,33 @@ class ICIDeployment(StorageDeployment):
 
         return start_spv_check(self, light_id, block_hash, txid)
 
-    # ------------------------------------------------------------ explorer
+    def mempool_of(self, node_id: int):
+        """A node's mempool (for proposers building from relayed txs)."""
+        mempool = self.nodes[node_id].mempool
+        assert mempool is not None
+        return mempool
+
+    # -------------------------------------------- engine-state convenience
+    @property
+    def reorg_count(self) -> int:
+        """Canonical-chain reorganizations so far."""
+        return self.dissemination.reorg_count
+
+    @property
+    def compact_stats(self):
+        """Compact-block reconstruction counters."""
+        return self.dissemination.compact_stats
+
+    @property
+    def light_clients(self) -> dict:
+        """Attached SPV clients by id."""
+        return self.query.light_clients
+
+    @property
+    def metrics_spv(self) -> list:
+        """Every SPV check's lifecycle record."""
+        return self.query.spv_log
+
     @property
     def explorer(self):
         """Lazy chain explorer (see :mod:`repro.core.explorer`)."""
@@ -761,210 +279,6 @@ class ICIDeployment(StorageDeployment):
 
             self._explorer = ChainExplorer(self)
         return self._explorer
-
-    # ----------------------------------------------------------- tx relay
-    def submit_transaction(self, tx, origin_id: int) -> bool:
-        """Inject a wallet transaction at a node; it relays by gossip.
-
-        Returns ``False`` when the origin's mempool rejected it as a
-        duplicate.
-
-        Raises:
-            ValidationError: when the transaction is invalid against the
-                canonical chain state.
-        """
-        origin = self.nodes[origin_id]
-        assert origin.mempool is not None
-        admitted = origin.mempool.add(tx, self.ledger.utxos)
-        if admitted:
-            self._tx_gossip.publish(origin_id, tx.txid, tx)
-        return admitted
-
-    def _on_transaction_gossiped(self, node_id: int, tx: object) -> None:
-        node = self.nodes.get(node_id)
-        if node is None or node.mempool is None:
-            return
-        try:
-            node.mempool.add(tx, self.ledger.utxos)  # type: ignore[arg-type]
-        except ValidationError:
-            pass  # conflicting/late relay; drop silently like real nodes
-
-    def mempool_of(self, node_id: int):
-        """A node's mempool (for proposers building from relayed txs)."""
-        mempool = self.nodes[node_id].mempool
-        assert mempool is not None
-        return mempool
-
-    # -------------------------------------------------------------- queries
-    def retrieve_block(
-        self, requester_id: int, block_hash: Hash32
-    ) -> QueryRecord:
-        """Fetch a block body from in-cluster holders (see interface docs)."""
-        node = self.nodes[requester_id]
-        record = QueryRecord(
-            request_id=self._next_request_id,
-            requester=requester_id,
-            block_hash=block_hash,
-            started_at=self.network.now,
-        )
-        self._next_request_id += 1
-        self.metrics.queries.append(record)
-        self._queries[record.request_id] = record
-
-        if node.store.has_body(block_hash):
-            record.completed_at = self.network.now
-            return record
-        header = node.store.header(block_hash)  # raises UnknownBlockError
-        holders = [
-            holder
-            for holder in self.holders_in_cluster(header, node.cluster_id)
-            if holder != requester_id
-        ]
-        if not holders:
-            # Degenerate single-member cluster: cross-cluster fallback.
-            holders = [
-                other
-                for other in self.nodes
-                if other != requester_id
-                and self.nodes[other].store.has_body(block_hash)
-            ][:1]
-        if not holders:
-            return record  # unresolvable; stays incomplete
-        self._query_plan[record.request_id] = holders
-        self._attempt_query(record.request_id)
-        return record
-
-    def _attempt_query(self, request_id: int) -> None:
-        record = self._queries.get(request_id)
-        if record is None or record.completed_at is not None:
-            return
-        plan = self._query_plan.get(request_id, [])
-        if record.attempts > 2 * len(plan):
-            return  # give up: every holder tried twice
-        target = plan[(record.attempts - 1) % len(plan)]
-        requester = self.nodes[record.requester]
-        requester.send(
-            MessageKind.BLOCK_REQUEST,
-            target,
-            (request_id, record.block_hash),
-            SYNC_REQUEST_BYTES,
-        )
-        self.network.clock.schedule(
-            QUERY_TIMEOUT, lambda: self._on_query_timeout(request_id)
-        )
-
-    def _on_query_timeout(self, request_id: int) -> None:
-        record = self._queries.get(request_id)
-        if record is None or record.completed_at is not None:
-            return
-        record.attempts += 1
-        self._attempt_query(request_id)
-
-    def _retry_query(self, request_id: int) -> None:
-        record = self._queries.get(request_id)
-        if record is None or record.completed_at is not None:
-            return
-        record.attempts += 1
-        self._attempt_query(request_id)
-
-    def _serve_query(self, node: ClusterNode, message: Message) -> None:
-        request_id, block_hash = message.payload
-        if node.store.has_body(block_hash):
-            block = node.store.body(block_hash)
-            node.send(
-                MessageKind.BLOCK_BODY,
-                message.sender,
-                ("serve", request_id, block),
-                block.size_bytes,
-            )
-        else:
-            node.send(
-                MessageKind.BLOCK_BODY,
-                message.sender,
-                ("miss", request_id),
-                32,
-            )
-
-    def _on_query_served(
-        self, node: ClusterNode, request_id: int, block: Block
-    ) -> None:
-        record = self._queries.get(request_id)
-        if record is None or record.completed_at is not None:
-            return
-        record.completed_at = self.network.now
-
-    # ------------------------------------------------------------ bootstrap
-    def join_new_node(self) -> BootstrapReport:
-        """Admit a brand-new node (see interface and bootstrap module docs)."""
-        from repro.core.bootstrap import start_bootstrap
-
-        return start_bootstrap(self)
-
-    def _serve_sync(self, node: ClusterNode, message: Message) -> None:
-        """A contact/holder answers a joiner's sync request."""
-        tag = message.payload[0]
-        if tag == "headers":
-            headers = list(node.store.iter_active_headers())
-            if self.config.transfer_state_snapshot:
-                snapshot = self.ledger.utxos.serialize_snapshot()
-            else:
-                snapshot = b""
-            node.send(
-                MessageKind.SYNC_HEADERS,
-                message.sender,
-                (tuple(headers), snapshot),
-                HEADER_SIZE * len(headers)
-                + len(snapshot)
-                + self.config.state_snapshot_bytes,
-            )
-        elif tag == "bodies":
-            _, wanted = message.payload
-            available = [
-                node.store.body(block_hash)
-                for block_hash in wanted
-                if node.store.has_body(block_hash)
-            ]
-            node.send(
-                MessageKind.SYNC_BODIES,
-                message.sender,
-                tuple(available),
-                sum(block.size_bytes for block in available),
-            )
-
-    def _on_sync_headers(self, node: ClusterNode, message: Message) -> None:
-        state = self._bootstraps.get(node.node_id)
-        if state is None:
-            return
-        from repro.core.bootstrap import continue_bootstrap_with_headers
-
-        headers, snapshot = message.payload
-        continue_bootstrap_with_headers(self, state, headers, snapshot)
-
-    def _on_sync_bodies(self, node: ClusterNode, message: Message) -> None:
-        state = self._bootstraps.get(node.node_id)
-        if state is not None:
-            from repro.core.bootstrap import continue_bootstrap_with_bodies
-
-            continue_bootstrap_with_bodies(
-                self, state, message.sender, message.payload
-            )
-            return
-        session = self._sync_sessions.get(node.node_id)
-        if session is not None:
-            session(node, message.sender, message.payload)
-
-    # ------------------------------------------------- membership changes
-    def leave_node(self, node_id: int):
-        """Gracefully retire a member (see :mod:`repro.core.departure`)."""
-        from repro.core.departure import start_departure
-
-        return start_departure(self, node_id)
-
-    def repair_after_crash(self, node_id: int):
-        """Re-replicate a crashed member's blocks from survivors."""
-        from repro.core.departure import start_crash_repair
-
-        return start_crash_repair(self, node_id)
 
     # ------------------------------------------------------------- reports
     def total_finalized_blocks(self) -> int:
@@ -989,33 +303,3 @@ class ICIDeployment(StorageDeployment):
             ):
                 return False
         return True
-
-
-class _BootstrapState:
-    """Mutable bookkeeping for one in-flight join (module-private)."""
-
-    def __init__(
-        self,
-        report: BootstrapReport,
-        contact: int,
-        old_members: tuple[int, ...],
-    ) -> None:
-        self.report = report
-        self.contact = contact
-        self.old_members = old_members
-        self.pending_sources: set[int] = set()
-        self.expected_bodies: set[Hash32] = set()
-        # What was asked of each source, to detect undeliverable bodies.
-        self.requested_from: dict[int, set[Hash32]] = {}
-        # Displaced copies released only after the joiner confirmed —
-        # pruning earlier could erase the very replica being copied from.
-        self.prune_plan: list[tuple[int, Hash32]] = []
-        # The decoded UTXO snapshot when real fast-sync is enabled.
-        self.utxo_snapshot = None
-
-    def check_complete(self, now: float) -> None:
-        """Mark the report complete once nothing is pending."""
-        if not self.pending_sources and not self.expected_bodies:
-            if self.report.completed_at is None:
-                self.report.completed_at = now
-

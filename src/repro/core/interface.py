@@ -4,6 +4,14 @@ A *deployment* owns a population of nodes on one simulated network and
 implements how blocks reach stable storage.  The experiment harness only
 talks to this interface, so ICIStrategy and the baselines are drop-in
 interchangeable in every bench.
+
+Every deployment also owns a :class:`~repro.protocols.router.MessageRouter`:
+protocol engines (or the deployment itself, for the simpler baselines)
+register one handler per message kind at construction time, and every
+delivered message dispatches through the router — an unregistered kind
+raises :class:`~repro.errors.ProtocolError` instead of being silently
+dropped.  A :class:`~repro.core.metrics.MetricsRecorder` observer on the
+router turns send/deliver/finalize events into deployment metrics.
 """
 
 from __future__ import annotations
@@ -11,9 +19,16 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 
 from repro.chain.block import Block
-from repro.core.metrics import BootstrapReport, DeploymentMetrics, QueryRecord
+from repro.core.metrics import (
+    BootstrapReport,
+    DeploymentMetrics,
+    MetricsRecorder,
+    QueryRecord,
+)
 from repro.crypto.hashing import Hash32
+from repro.net.message import Message
 from repro.net.network import Network
+from repro.protocols.router import MessageRouter, ProtocolEngine
 from repro.storage.accounting import NetworkStorageReport, report_network
 
 
@@ -21,14 +36,41 @@ class StorageDeployment(ABC):
     """Base class for strategy deployments.
 
     Subclasses populate :attr:`nodes` (``node_id -> BaseNode``-ish objects
-    exposing ``.store``) during construction and implement dissemination,
-    retrieval, and bootstrap.
+    exposing ``.store``) during construction, register message handlers on
+    :attr:`router` (directly or via :meth:`install_engine`), and implement
+    dissemination, retrieval, and bootstrap.
     """
 
     def __init__(self, network: Network) -> None:
         self.network = network
         self.metrics = DeploymentMetrics()
         self.nodes: dict[int, object] = {}
+        self.router = MessageRouter()
+        self.router.add_observer(MetricsRecorder(self.metrics))
+        self.engines: dict[str, ProtocolEngine] = {}
+
+    # -------------------------------------------------------------- routing
+    def install_engine(self, engine: ProtocolEngine) -> ProtocolEngine:
+        """Add a protocol engine and let it claim its message kinds.
+
+        Returns the engine so construction can chain:
+        ``self.query = self.install_engine(QueryEngine(self))``.
+        """
+        self.engines[engine.name] = engine
+        engine.install(self.router)
+        return engine
+
+    def on_message(self, node, message: Message) -> None:
+        """Dispatch a delivered message through the router.
+
+        Raises:
+            ProtocolError: when no handler is registered for the kind.
+        """
+        self.router.dispatch(node, message)
+
+    def note_send(self, message: Message) -> None:
+        """Instrumentation hook invoked by every node's ``send``."""
+        self.router.note_send(message)
 
     # ----------------------------------------------------------- lifecycle
     @abstractmethod

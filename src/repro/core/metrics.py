@@ -1,12 +1,24 @@
-"""Deployment-level metrics shared by ICIStrategy and the baselines."""
+"""Deployment-level metrics shared by ICIStrategy and the baselines.
+
+The deployments do not call the record methods directly for protocol
+events any more: each deployment's :class:`MessageRouter` publishes
+``on_send`` / ``on_deliver`` / ``on_finalize`` to a :class:`MetricsRecorder`
+observer, which folds them into the shared :class:`DeploymentMetrics`.
+"""
 
 from __future__ import annotations
 
 import statistics
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.core.verification import VerificationCosts
 from repro.crypto.hashing import Hash32
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.message import Message
+    from repro.node.base import BaseNode
+    from repro.protocols.router import FinalizeEvent
 
 
 @dataclass
@@ -90,6 +102,30 @@ class DepartureReport:
 
 
 @dataclass
+class RouterStats:
+    """Per-message-kind dispatch counters fed by the router's observers.
+
+    Keys are :class:`~repro.net.message.MessageKind` values (strings), so
+    reports can be serialized without importing the enum.
+    """
+
+    sends: dict[str, int] = field(default_factory=dict)
+    send_bytes: dict[str, int] = field(default_factory=dict)
+    deliveries: dict[str, int] = field(default_factory=dict)
+    finalize_events: int = 0
+
+    @property
+    def total_sends(self) -> int:
+        """Protocol messages handed to the network, all kinds."""
+        return sum(self.sends.values())
+
+    @property
+    def total_deliveries(self) -> int:
+        """Messages dispatched to a handler, all kinds."""
+        return sum(self.deliveries.values())
+
+
+@dataclass
 class DeploymentMetrics:
     """Everything a deployment records while blocks flow through it."""
 
@@ -105,6 +141,7 @@ class DeploymentMetrics:
     bootstraps: list[BootstrapReport] = field(default_factory=list)
     departures: list[DepartureReport] = field(default_factory=list)
     blocks_rejected: set[Hash32] = field(default_factory=set)
+    router_stats: RouterStats = field(default_factory=RouterStats)
 
     # -------------------------------------------------------------- record
     def record_submit(self, block_hash: Hash32, now: float) -> None:
@@ -168,3 +205,46 @@ class DeploymentMetrics:
         if not latencies:
             return None
         return statistics.fmean(latencies)
+
+
+class MetricsRecorder:
+    """Router observer that folds protocol events into the metrics sink.
+
+    Installed by :class:`~repro.core.interface.StorageDeployment` on every
+    deployment's router, so engines publish :class:`FinalizeEvent`s and
+    never touch the timing tables directly.  A :class:`FinalizeEvent` with
+    ``node_id`` records a node finalization; one with ``cluster_final``
+    (and a cluster id) additionally records the cluster's finalization —
+    quorum-based strategies emit per-node events with
+    ``cluster_final=False`` plus one cluster-level event at quorum.
+    """
+
+    def __init__(self, metrics: DeploymentMetrics) -> None:
+        self._metrics = metrics
+
+    def on_send(self, message: "Message") -> None:
+        """Count one protocol send by kind (wire bytes incl. envelope)."""
+        stats = self._metrics.router_stats
+        kind = message.kind.value
+        stats.sends[kind] = stats.sends.get(kind, 0) + 1
+        stats.send_bytes[kind] = (
+            stats.send_bytes.get(kind, 0) + message.size_bytes
+        )
+
+    def on_deliver(self, node: "BaseNode", message: "Message") -> None:
+        """Count one dispatched delivery by kind."""
+        stats = self._metrics.router_stats
+        kind = message.kind.value
+        stats.deliveries[kind] = stats.deliveries.get(kind, 0) + 1
+
+    def on_finalize(self, event: "FinalizeEvent") -> None:
+        """Fold a finalization into the node/cluster timing tables."""
+        self._metrics.router_stats.finalize_events += 1
+        if event.node_id is not None:
+            self._metrics.record_node_final(
+                event.block_hash, event.node_id, event.at
+            )
+        if event.cluster_final and event.cluster_id is not None:
+            self._metrics.record_cluster_final(
+                event.block_hash, event.cluster_id, event.at
+            )

@@ -62,7 +62,7 @@ def attach_light_client(deployment: "ICIDeployment") -> "LightNode":
     light.attach(deployment)
     deployment.light_clients[light_id] = light
     contact = min(deployment.nodes)
-    deployment._light_contacts[light_id] = contact
+    deployment.query.light_contacts[light_id] = contact
     refresh_light_client(deployment, light_id)
     return light
 
@@ -90,16 +90,16 @@ def start_spv_check(
 
     light = deployment.light_clients[light_id]
     record = SpvRecord(
-        request_id=deployment._next_spv_id,
+        request_id=deployment.query.next_spv_id,
         light_id=light_id,
         block_hash=block_hash,
         txid=txid,
         started_at=deployment.network.now,
     )
-    deployment._next_spv_id += 1
-    deployment._spv_records[record.request_id] = record
+    deployment.query.next_spv_id += 1
+    deployment.query.spv_records[record.request_id] = record
     deployment.metrics_spv.append(record)
-    contact = deployment._light_contacts[light_id]
+    contact = deployment.query.light_contacts[light_id]
     light.send(
         MessageKind.CONTROL,
         contact,
@@ -150,13 +150,13 @@ def handle_spv_response(deployment: "ICIDeployment", light, payload) -> None:
     """The light client folds the served proof against its header."""
     tag = payload[0]
     if tag == "spv_miss":
-        record = deployment._spv_records.get(payload[1])
+        record = deployment.query.spv_records.get(payload[1])
         if record is not None and record.completed_at is None:
             record.completed_at = deployment.network.now
             record.verified = False
         return
     _tag, request_id, tx, proof = payload
-    record = deployment._spv_records.get(request_id)
+    record = deployment.query.spv_records.get(request_id)
     if record is None or record.completed_at is not None:
         return
     record.completed_at = deployment.network.now

@@ -49,6 +49,10 @@ class ForkError(ChainError):
     """A chain reorganization could not be performed."""
 
 
+class ProtocolError(ReproError):
+    """A protocol message could not be routed to a registered handler."""
+
+
 class NetworkError(ReproError):
     """Base class for simulated-network failures."""
 

@@ -13,10 +13,13 @@ also provides closed-form traffic estimates (:func:`flood_cost_bytes`).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Hashable
+from typing import Callable, Generic, Hashable, TypeVar
 
 from repro.net.message import Message, MessageKind, sized_message
 from repro.net.network import Network
+
+#: The item family a protocol instance relays (headers, txs, blocks).
+T = TypeVar("T")
 
 #: Bytes of an announcement (item id + height hint).
 ANNOUNCE_PAYLOAD_BYTES = 36
@@ -34,7 +37,7 @@ class GossipStats:
     duplicate_announces: int = 0
 
 
-class GossipProtocol:
+class GossipProtocol(Generic[T]):
     """Flooding relay for one item family (blocks, txs, headers).
 
     The protocol object is shared by all nodes of a scenario; per-node state
@@ -43,6 +46,10 @@ class GossipProtocol:
     or finish validating an item; the protocol handles announce/request
     traffic and invokes ``on_item(node_id, item)`` when a node receives the
     full item.
+
+    The three message kinds are public so a
+    :class:`~repro.protocols.router.MessageRouter` can claim them at
+    engine-install time and dispatch gossip traffic like any other kind.
     """
 
     def __init__(
@@ -51,17 +58,17 @@ class GossipProtocol:
         announce_kind: MessageKind,
         request_kind: MessageKind,
         item_kind: MessageKind,
-        item_size: Callable[[object], int],
-        on_item: Callable[[int, object], None],
+        item_size: Callable[[T], int],
+        on_item: Callable[[int, T], None],
     ) -> None:
         self._network = network
-        self._announce_kind = announce_kind
-        self._request_kind = request_kind
-        self._item_kind = item_kind
+        self.announce_kind = announce_kind
+        self.request_kind = request_kind
+        self.item_kind = item_kind
         self._item_size = item_size
         self._on_item = on_item
         self._have: dict[int, set[Hashable]] = {}
-        self._items: dict[Hashable, object] = {}
+        self._items: dict[Hashable, T] = {}
         self._requested: dict[int, set[Hashable]] = {}
         self.stats = GossipStats()
 
@@ -76,7 +83,7 @@ class GossipProtocol:
             node for node, items in self._have.items() if item_id in items
         )
 
-    def publish(self, node_id: int, item_id: Hashable, item: object) -> None:
+    def publish(self, node_id: int, item_id: Hashable, item: T) -> None:
         """Node ``node_id`` originates (or completes) ``item`` and relays it."""
         self._items[item_id] = item
         if self._mark_have(node_id, item_id):
@@ -85,11 +92,11 @@ class GossipProtocol:
     # ------------------------------------------------------------ handlers
     def handle(self, message: Message) -> bool:
         """Dispatch a gossip message; returns ``False`` when not ours."""
-        if message.kind == self._announce_kind:
+        if message.kind == self.announce_kind:
             self._on_announce(message)
-        elif message.kind == self._request_kind:
+        elif message.kind == self.request_kind:
             self._on_request(message)
-        elif message.kind == self._item_kind:
+        elif message.kind == self.item_kind:
             self._on_item_received(message)
         else:
             return False
@@ -107,7 +114,7 @@ class GossipProtocol:
             self.stats.announces_sent += 1
             self._network.send(
                 sized_message(
-                    self._announce_kind,
+                    self.announce_kind,
                     node_id,
                     peer,
                     item_id,
@@ -128,7 +135,7 @@ class GossipProtocol:
         self.stats.requests_sent += 1
         self._network.send(
             sized_message(
-                self._request_kind,
+                self.request_kind,
                 node_id,
                 message.sender,
                 item_id,
@@ -145,7 +152,7 @@ class GossipProtocol:
         self.stats.items_sent += 1
         self._network.send(
             sized_message(
-                self._item_kind,
+                self.item_kind,
                 node_id,
                 message.sender,
                 (item_id, item),

@@ -77,9 +77,15 @@ class BaseNode:
         payload_bytes: int,
     ) -> None:
         """Send one sized message to ``recipient``."""
-        self.network.send(
-            sized_message(kind, self.node_id, recipient, payload, payload_bytes)
+        message = sized_message(
+            kind, self.node_id, recipient, payload, payload_bytes
         )
+        # Deployments with a router expose a send hook for instrumentation;
+        # minimal deployments (e.g. test stubs) only implement on_message.
+        note_send = getattr(self._deployment, "note_send", None)
+        if note_send is not None:
+            note_send(message)
+        self.network.send(message)
 
     def broadcast(
         self,

@@ -10,7 +10,7 @@ from __future__ import annotations
 from repro.chain.block import BlockHeader
 from repro.chain.transaction import Transaction
 from repro.crypto.merkle import MerkleProof
-from repro.errors import UnknownBlockError, ValidationError
+from repro.errors import ValidationError
 from repro.net.network import Network
 from repro.node.base import BaseNode
 

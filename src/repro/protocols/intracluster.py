@@ -1,0 +1,320 @@
+"""Intra-cluster verification engine: prepare/commit/result voting.
+
+Owns the PBFT-style collaborative verification rounds: holders attest
+(PREPARE) after full validation, members commit after a holder majority,
+a Byzantine quorum of commits finalizes the block inside the cluster —
+optionally through a per-block aggregator that broadcasts a quorum
+certificate (O(m) messages instead of O(m²)).  Finalizations are
+published on the router's instrumentation hook, which is how the
+metrics layer learns about them.
+"""
+
+from __future__ import annotations
+
+from repro.chain.block import Block, BlockHeader
+from repro.consensus.quorum import Vote, byzantine_quorum
+from repro.core.verification import (
+    CommitVote,
+    PrepareAttestation,
+    QuorumCertificate,
+)
+from repro.crypto.hashing import Hash32
+from repro.net.message import Message, MessageKind
+from repro.node.base import BaseNode
+from repro.node.clusternode import ClusterNode
+from repro.protocols.router import (
+    FinalizeEvent,
+    MessageRouter,
+    ProtocolEngine,
+)
+
+
+class IntraClusterEngine(ProtocolEngine):
+    """Collaborative verification voting and finalization."""
+
+    name = "verification"
+
+    def __init__(self, deployment) -> None:
+        super().__init__(deployment)
+        # Votes that arrived before their block's header (replayed later).
+        self.pending_votes: dict[
+            tuple[int, Hash32],
+            list[tuple[str, PrepareAttestation | CommitVote]],
+        ] = {}
+        self.collected_commits: dict[
+            tuple[int, Hash32], list[CommitVote]
+        ] = {}
+        self.result_sent: set[tuple[int, Hash32]] = set()
+
+    def install(self, router: MessageRouter) -> None:
+        router.register(
+            MessageKind.VERIFY_PREPARE, self._on_prepare, owner=self.name
+        )
+        router.register(
+            MessageKind.VERIFY_COMMIT, self._on_commit, owner=self.name
+        )
+        router.register(
+            MessageKind.VERIFY_RESULT, self._on_result, owner=self.name
+        )
+
+    # ------------------------------------------------------------ messages
+    def _silent(self, node: BaseNode) -> bool:
+        """A silent Byzantine node withholds all verification traffic."""
+        return self.deployment.byzantine.get(node.node_id) == "silent"
+
+    def _on_prepare(self, node: BaseNode, message: Message) -> None:
+        assert isinstance(node, ClusterNode)
+        if self._silent(node):
+            return
+        self.apply_prepare(node, message.payload)
+
+    def _on_commit(self, node: BaseNode, message: Message) -> None:
+        assert isinstance(node, ClusterNode)
+        if self._silent(node):
+            return
+        self.apply_commit(node, message.payload)
+
+    def _on_result(self, node: BaseNode, message: Message) -> None:
+        assert isinstance(node, ClusterNode)
+        if self._silent(node):
+            return
+        self.apply_result(node, message.payload)
+
+    # ----------------------------------------------------- round plumbing
+    def ensure_round(self, node: ClusterNode, header: BlockHeader):
+        """The node's (possibly new) verification round for a block."""
+        deployment = self.deployment
+        members = deployment.clusters.members_of(node.cluster_id)
+        holders = deployment.holders_in_cluster(header, node.cluster_id)
+        return node.round_for(header, members, holders)
+
+    def replay_pending(self, node: ClusterNode, block_hash: Hash32) -> None:
+        """Re-apply votes that raced ahead of the block's header."""
+        pending = self.pending_votes.pop((node.node_id, block_hash), [])
+        for tag, payload in pending:
+            if tag == "prepare":
+                self.apply_prepare(node, payload)  # type: ignore[arg-type]
+            else:
+                self.apply_commit(node, payload)  # type: ignore[arg-type]
+
+    # --------------------------------------------------- validation entry
+    def start_verification(self, node: ClusterNode, block: Block) -> None:
+        """Charge validation cost, then vote per the configured mode."""
+        deployment = self.deployment
+        block_hash = block.block_hash
+        cost = self.metrics.costs.charge_full_validation(block)
+        vote = (
+            Vote.ACCEPT
+            if deployment.dissemination.block_valid.get(block_hash, False)
+            else Vote.REJECT
+        )
+        behaviour = deployment.byzantine.get(node.node_id)
+        if behaviour == "vote_reject":
+            vote = Vote.REJECT  # lie about a valid block
+        elif behaviour == "silent":
+            return  # withhold the attestation entirely
+        if deployment.config.verify_collaboratively:
+            self.network.clock.schedule(
+                cost,
+                lambda: self._broadcast_prepare(node, block_hash, vote),
+            )
+        else:
+            self.network.clock.schedule(
+                cost,
+                lambda: self._self_commit(node, block.header, vote),
+            )
+
+    def _broadcast_prepare(
+        self, node: ClusterNode, block_hash: Hash32, vote: Vote
+    ) -> None:
+        attestation = PrepareAttestation.create(
+            node.keypair, block_hash, node.node_id, vote
+        )
+        for member in self.deployment.clusters.members_of(node.cluster_id):
+            if member == node.node_id:
+                self.apply_prepare(node, attestation)
+            else:
+                node.send(
+                    MessageKind.VERIFY_PREPARE,
+                    member,
+                    attestation,
+                    PrepareAttestation.WIRE_BYTES,
+                )
+
+    def _self_commit(
+        self, node: ClusterNode, header: BlockHeader, vote: Vote
+    ) -> None:
+        """Non-collaborative ablation: commit straight after own validation."""
+        commit = CommitVote.create(
+            node.keypair, header.block_hash, node.node_id, vote
+        )
+        self._dispatch_commit(node, header, commit)
+
+    # ------------------------------------------------- verification voting
+    def apply_prepare(
+        self, node: ClusterNode, attestation: PrepareAttestation
+    ) -> None:
+        """Fold one holder attestation into the node's round."""
+        deployment = self.deployment
+        block_hash = attestation.block_hash
+        if not node.store.has_header(block_hash):
+            self.pending_votes.setdefault(
+                (node.node_id, block_hash), []
+            ).append(("prepare", attestation))
+            return
+        key = deployment.public_keys.get(attestation.holder)
+        if key is None or not attestation.check(key):
+            return
+        header = node.store.header(block_hash)
+        round_ = self.ensure_round(node, header)
+        if round_.on_prepare(attestation.holder, attestation.vote):
+            behaviour = deployment.byzantine.get(node.node_id)
+            if behaviour == "silent":
+                return
+            vote = round_.my_commit_vote
+            if behaviour == "vote_reject":
+                vote = Vote.REJECT
+            commit = CommitVote.create(
+                node.keypair, block_hash, node.node_id, vote
+            )
+            self._dispatch_commit(node, header, commit)
+
+    def _dispatch_commit(
+        self, node: ClusterNode, header: BlockHeader, commit: CommitVote
+    ) -> None:
+        deployment = self.deployment
+        if deployment.config.aggregate_votes:
+            aggregator = deployment.aggregator_for(header, node.cluster_id)
+            if aggregator == node.node_id:
+                self.apply_commit(node, commit)
+            else:
+                node.send(
+                    MessageKind.VERIFY_COMMIT,
+                    aggregator,
+                    commit,
+                    CommitVote.WIRE_BYTES,
+                )
+        else:
+            for member in deployment.clusters.members_of(node.cluster_id):
+                if member == node.node_id:
+                    self.apply_commit(node, commit)
+                else:
+                    node.send(
+                        MessageKind.VERIFY_COMMIT,
+                        member,
+                        commit,
+                        CommitVote.WIRE_BYTES,
+                    )
+
+    def apply_commit(self, node: ClusterNode, commit: CommitVote) -> None:
+        """Fold one member commit; finalize on a Byzantine quorum."""
+        deployment = self.deployment
+        block_hash = commit.block_hash
+        if not node.store.has_header(block_hash):
+            self.pending_votes.setdefault(
+                (node.node_id, block_hash), []
+            ).append(("commit", commit))
+            return
+        key = deployment.public_keys.get(commit.member)
+        if key is None or not commit.check(key):
+            return
+        header = node.store.header(block_hash)
+        round_ = self.ensure_round(node, header)
+        self.collected_commits.setdefault(
+            (node.node_id, block_hash), []
+        ).append(commit)
+        decided = round_.on_commit(
+            commit.member, commit.vote, now=self.network.now
+        )
+        if not decided:
+            return
+        verdict = Vote.ACCEPT if round_.accepted else Vote.REJECT
+        if deployment.config.aggregate_votes:
+            self._broadcast_result(node, header, verdict)
+        self.finalize(node, block_hash, round_.accepted)
+
+    def _broadcast_result(
+        self, node: ClusterNode, header: BlockHeader, verdict: Vote
+    ) -> None:
+        block_hash = header.block_hash
+        if (node.node_id, block_hash) in self.result_sent:
+            return
+        self.result_sent.add((node.node_id, block_hash))
+        matching = tuple(
+            c
+            for c in self.collected_commits.get(
+                (node.node_id, block_hash), []
+            )
+            if c.vote == verdict
+        )
+        certificate = QuorumCertificate(
+            block_hash=block_hash, vote=verdict, commits=matching
+        )
+        for member in self.deployment.clusters.members_of(node.cluster_id):
+            if member != node.node_id:
+                node.send(
+                    MessageKind.VERIFY_RESULT,
+                    member,
+                    certificate,
+                    certificate.wire_bytes,
+                )
+
+    def apply_result(
+        self, node: ClusterNode, certificate: QuorumCertificate
+    ) -> None:
+        """Adopt an aggregator's quorum certificate (after checking it)."""
+        deployment = self.deployment
+        block_hash = certificate.block_hash
+        if node.is_finalized(block_hash):
+            return
+        members = deployment.clusters.members_of(node.cluster_id)
+        quorum = byzantine_quorum(len(members))
+        if not certificate.check(deployment.public_keys, quorum):
+            return
+        self.finalize(node, block_hash, certificate.vote is Vote.ACCEPT)
+
+    # --------------------------------------------------------- finalization
+    def finalize(
+        self, node: ClusterNode, block_hash: Hash32, accepted: bool
+    ) -> None:
+        """One node reaches intra-cluster finality on a block."""
+        deployment = self.deployment
+        if node.is_finalized(block_hash):
+            return
+        node.finalize(block_hash)
+        now = self.network.now
+        first_in_cluster = (
+            block_hash,
+            node.cluster_id,
+        ) not in self.metrics.cluster_finalized_at
+        self.router.notify_finalize(
+            FinalizeEvent(
+                block_hash=block_hash,
+                node_id=node.node_id,
+                cluster_id=node.cluster_id,
+                accepted=accepted,
+                at=now,
+            )
+        )
+        ledger = deployment.ledger
+        if (
+            first_in_cluster
+            and accepted
+            and deployment.parity is not None
+            and ledger.store.has_body(block_hash)
+        ):
+            deployment.parity.on_block_final(
+                deployment, node.cluster_id, ledger.store.body(block_hash)
+            )
+        if not accepted:
+            self.metrics.blocks_rejected.add(block_hash)
+            node.store.drop_body(block_hash)
+            return
+        if node.mempool is not None and ledger.store.has_body(block_hash):
+            node.mempool.remove_confirmed(
+                list(ledger.store.body(block_hash).transactions)
+            )
+        if deployment.config.prune_after_verify and not node.is_holder_of(
+            block_hash
+        ):
+            node.store.drop_body(block_hash)

@@ -1,0 +1,182 @@
+"""Query engine: intra-cluster block retrieval and the SPV service.
+
+Owns the request/serve/miss/retry/timeout lifecycle of block-body
+queries (any member can fetch a body it lacks from an in-cluster
+placement holder) and the light-client proof service built on the same
+"any cluster serves anything" property.  Compact-block transaction
+fetches also ride the CONTROL kind and are delegated to the
+dissemination engine, which owns reconstruction state.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.chain.block import Block
+from repro.core.metrics import QueryRecord
+from repro.crypto.hashing import Hash32
+from repro.net.message import Message, MessageKind
+from repro.node.base import BaseNode
+from repro.node.clusternode import ClusterNode
+from repro.protocols.router import MessageRouter, ProtocolEngine
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.spv import SpvRecord
+    from repro.node.lightnode import LightNode
+
+#: Seconds a requester waits for a holder before trying the next one.
+QUERY_TIMEOUT = 2.0
+#: Bytes of a sync-request control message payload.
+SYNC_REQUEST_BYTES = 64
+
+
+class QueryEngine(ProtocolEngine):
+    """Block-body retrieval with retries, plus SPV proof serving."""
+
+    name = "query"
+
+    def __init__(self, deployment) -> None:
+        super().__init__(deployment)
+        self.queries: dict[int, QueryRecord] = {}
+        self.query_plan: dict[int, list[int]] = {}
+        self.next_request_id = 0
+        # SPV light-client service state.
+        self.light_clients: dict[int, "LightNode"] = {}
+        self.light_contacts: dict[int, int] = {}
+        self.spv_records: dict[int, "SpvRecord"] = {}
+        self.next_spv_id = 0
+        self.spv_log: list["SpvRecord"] = []
+
+    def install(self, router: MessageRouter) -> None:
+        router.register(
+            MessageKind.BLOCK_REQUEST, self._on_block_request, owner=self.name
+        )
+        router.register(
+            MessageKind.CONTROL, self._on_control, owner=self.name
+        )
+
+    # -------------------------------------------------------------- queries
+    def retrieve_block(
+        self, requester_id: int, block_hash: Hash32
+    ) -> QueryRecord:
+        """Fetch a block body from in-cluster holders (see interface docs)."""
+        deployment = self.deployment
+        node = deployment.nodes[requester_id]
+        record = QueryRecord(
+            request_id=self.next_request_id,
+            requester=requester_id,
+            block_hash=block_hash,
+            started_at=self.network.now,
+        )
+        self.next_request_id += 1
+        self.metrics.queries.append(record)
+        self.queries[record.request_id] = record
+
+        if node.store.has_body(block_hash):
+            record.completed_at = self.network.now
+            return record
+        header = node.store.header(block_hash)  # raises UnknownBlockError
+        holders = [
+            holder
+            for holder in deployment.holders_in_cluster(
+                header, node.cluster_id
+            )
+            if holder != requester_id
+        ]
+        if not holders:
+            # Degenerate single-member cluster: cross-cluster fallback.
+            holders = [
+                other
+                for other in deployment.nodes
+                if other != requester_id
+                and deployment.nodes[other].store.has_body(block_hash)
+            ][:1]
+        if not holders:
+            return record  # unresolvable; stays incomplete
+        self.query_plan[record.request_id] = holders
+        self._attempt(record.request_id)
+        return record
+
+    def _attempt(self, request_id: int) -> None:
+        record = self.queries.get(request_id)
+        if record is None or record.completed_at is not None:
+            return
+        plan = self.query_plan.get(request_id, [])
+        if record.attempts > 2 * len(plan):
+            return  # give up: every holder tried twice
+        target = plan[(record.attempts - 1) % len(plan)]
+        requester = self.deployment.nodes[record.requester]
+        requester.send(
+            MessageKind.BLOCK_REQUEST,
+            target,
+            (request_id, record.block_hash),
+            SYNC_REQUEST_BYTES,
+        )
+        self.network.clock.schedule(
+            QUERY_TIMEOUT, lambda: self._on_timeout(request_id)
+        )
+
+    def _on_timeout(self, request_id: int) -> None:
+        record = self.queries.get(request_id)
+        if record is None or record.completed_at is not None:
+            return
+        record.attempts += 1
+        self._attempt(request_id)
+
+    def on_miss(self, request_id: int) -> None:
+        """A holder answered "miss": advance to the next holder now."""
+        record = self.queries.get(request_id)
+        if record is None or record.completed_at is not None:
+            return
+        record.attempts += 1
+        self._attempt(request_id)
+
+    def _on_block_request(self, node: BaseNode, message: Message) -> None:
+        assert isinstance(node, ClusterNode)
+        request_id, block_hash = message.payload
+        if node.store.has_body(block_hash):
+            block = node.store.body(block_hash)
+            node.send(
+                MessageKind.BLOCK_BODY,
+                message.sender,
+                ("serve", request_id, block),
+                block.size_bytes,
+            )
+        else:
+            node.send(
+                MessageKind.BLOCK_BODY,
+                message.sender,
+                ("miss", request_id),
+                32,
+            )
+
+    def on_served(
+        self, node: ClusterNode, request_id: int, block: Block
+    ) -> None:
+        """The requested body arrived back at the requester."""
+        record = self.queries.get(request_id)
+        if record is None or record.completed_at is not None:
+            return
+        record.completed_at = self.network.now
+
+    # ---------------------------------------------------------------- SPV
+    def _on_control(self, node: BaseNode, message: Message) -> None:
+        from repro.core import spv as spv_module
+
+        tag = message.payload[0]
+        if tag == "spv_req" and isinstance(node, ClusterNode):
+            spv_module.handle_spv_request(
+                self.deployment, node, message.payload
+            )
+        elif tag in ("spv_resp", "spv_miss"):
+            spv_module.handle_spv_response(
+                self.deployment, node, message.payload
+            )
+        elif tag == "txfetch" and isinstance(node, ClusterNode):
+            from repro.core.compact import on_txfetch
+
+            on_txfetch(self.deployment, node, message.payload)
+        elif tag == "txfill" and isinstance(node, ClusterNode):
+            from repro.core.compact import on_txfill
+
+            on_txfill(self.deployment, node, message.payload)

@@ -7,7 +7,6 @@ thresholds are exercised.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core.config import ICIConfig
 from repro.core.icistrategy import ICIDeployment
@@ -111,7 +110,7 @@ class TestSilentMembers:
         report = runner.produce_blocks(5, txs_per_block=2)
         for block_hash in report.block_hashes:
             header = deployment.ledger.store.header(block_hash)
-            aggregator = deployment._aggregator_for(header, 0)
+            aggregator = deployment.aggregator_for(header, 0)
             finalized = sum(
                 deployment.nodes[n].is_finalized(block_hash)
                 for n in honest_members(deployment)
@@ -146,7 +145,7 @@ class TestForgedCertificates:
         )
         victim = deployment.nodes[3]
         victim.finalized.discard(block_hash)
-        deployment._apply_result(victim, forged)
+        deployment.verification.apply_result(victim, forged)
         # Below quorum: the forged certificate is ignored.
         assert not victim.is_finalized(block_hash)
 
@@ -172,5 +171,5 @@ class TestForgedCertificates:
         )
         victim = deployment.nodes[3]
         victim.finalized.discard(block_hash)
-        deployment._apply_result(victim, bogus)
+        deployment.verification.apply_result(victim, bogus)
         assert not victim.is_finalized(block_hash)

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.chain.block import build_block
 from repro.chain.transaction import make_coinbase

@@ -125,7 +125,7 @@ class TestSpvService:
         """The contact need not hold the body; it routes in-cluster."""
         deployment, _, report = deployed(n_blocks=6)
         light = deployment.attach_light_client()
-        contact = deployment._light_contacts[light.node_id]
+        contact = deployment.query.light_contacts[light.node_id]
         target = next(
             b
             for b in report.blocks

@@ -5,7 +5,6 @@ from __future__ import annotations
 import pytest
 
 from repro.chain.block import Block, build_block
-from repro.chain.chainstore import Ledger
 from repro.chain.transaction import (
     OutPoint,
     Transaction,
