@@ -15,6 +15,7 @@ import statistics
 
 from benchmarks.conftest import emit, run_once
 from repro.analysis.tables import format_seconds, render_table
+from repro.bench.workload import BenchWorkload
 from repro.clustering.coordinates import place_regions
 from repro.core.config import ICIConfig
 from repro.core.icistrategy import ICIDeployment
@@ -102,3 +103,28 @@ def test_e10_clustering_ablation(benchmark, results_dir):
     # Shape: coordinate-aware clusterings beat random formation.
     assert results["kmeans"] < results["random"]
     assert results["latency"] < results["random"]
+
+
+# ---------------------------------------------------------- perf workload
+def _bench_workload(profile):
+    variants = profile.pick(
+        ("random", "kmeans"), ("random", "kmeans", "latency")
+    )
+    blocks = profile.pick(3, N_BLOCKS)
+    outputs = []
+    for clustering in variants:
+        deployment = build(clustering)
+        runner = ScenarioRunner(deployment, limits=BENCH_LIMITS)
+        report = runner.produce_blocks(blocks, txs_per_block=5)
+        measure_retrieval(
+            deployment, report.block_hashes[: profile.pick(2, 4)]
+        )
+        outputs.append((clustering, deployment))
+    return outputs
+
+
+WORKLOAD = BenchWorkload(
+    bench_id="e10",
+    title="clustering ablation with retrieval queries",
+    run=_bench_workload,
+)

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from benchmarks.conftest import build_ici, drive, emit, run_once
 from repro.analysis.tables import format_bytes, render_table
+from repro.bench.workload import BenchWorkload
 
 N_NODES = 20
 N_CLUSTERS = 2
@@ -100,3 +101,28 @@ def test_e11_parity_ablation(benchmark, results_dir):
     assert r1[0] < parity[0] < r2[0]
     # And well under the replica cost: ≤ (1 + 1/k + slack)·r1.
     assert parity[0] < r1[0] * (1 + 1.0 / PARITY_GROUP + 0.20)
+
+
+# ---------------------------------------------------------- perf workload
+def _bench_workload(profile):
+    blocks = profile.pick(8, N_BLOCKS)
+    outputs = []
+    for label, kwargs in (
+        ("r1", dict(replication=1)),
+        ("r2", dict(replication=2)),
+        ("parity", dict(replication=1, parity_group_size=PARITY_GROUP)),
+    ):
+        deployment = build_ici(N_NODES, N_CLUSTERS, **kwargs)
+        drive(deployment, blocks)
+        if deployment.parity is not None:
+            deployment.parity.flush(deployment)
+        crash_first_member(deployment)
+        outputs.append((label, deployment))
+    return outputs
+
+
+WORKLOAD = BenchWorkload(
+    bench_id="e11",
+    title="crash-safety schemes with repair",
+    run=_bench_workload,
+)

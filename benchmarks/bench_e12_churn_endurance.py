@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from benchmarks.conftest import build_ici, emit, run_once
 from repro.analysis.tables import format_bytes, render_table
+from repro.bench.workload import BenchWorkload
 from repro.sim.churn import ChurnConfig, ChurnDriver
 from repro.sim.runner import ScenarioRunner
 from repro.sim.scenario import BENCH_LIMITS
@@ -81,3 +82,27 @@ def test_e12_churn_endurance(benchmark, results_dir):
         # Integrity still holds globally at the end.
         for view in deployment.clusters.views():
             assert deployment.cluster_holds_full_ledger(view.cluster_id)
+
+
+# ---------------------------------------------------------- perf workload
+def _bench_workload(profile):
+    blocks = profile.pick(8, N_BLOCKS)
+    outputs = []
+    for label, kwargs in (
+        ("r2", dict(replication=2)),
+        ("parity", dict(replication=1, parity_group_size=4)),
+    ):
+        deployment = build_ici(N_NODES, N_CLUSTERS, **kwargs)
+        runner = ScenarioRunner(deployment, limits=BENCH_LIMITS)
+        ChurnDriver(deployment, runner, CHURN).run(blocks, txs_per_block=4)
+        if deployment.parity is not None:
+            deployment.parity.flush(deployment)
+        outputs.append((label, deployment))
+    return outputs
+
+
+WORKLOAD = BenchWorkload(
+    bench_id="e12",
+    title="churn endurance under mixed join/leave/crash",
+    run=_bench_workload,
+)

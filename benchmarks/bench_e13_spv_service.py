@@ -12,6 +12,7 @@ import statistics
 
 from benchmarks.conftest import build_ici, emit, run_once
 from repro.analysis.tables import format_bytes, format_seconds, render_table
+from repro.bench.workload import BenchWorkload
 from repro.sim.runner import ScenarioRunner
 from repro.sim.scenario import BENCH_LIMITS
 
@@ -83,3 +84,27 @@ def test_e13_spv_service(benchmark, results_dir):
     ratios = [body / proof for _, proof, body, _ in measured]
     assert ratios[-1] > ratios[0]
     assert all(latency < 1.0 for *_rest, latency in measured)
+
+
+# ---------------------------------------------------------- perf workload
+def _bench_workload(profile):
+    tx_counts = profile.pick((4, 16), TX_COUNTS)
+    outputs = []
+    for txs in tx_counts:
+        deployment = build_ici(N_NODES, N_CLUSTERS, replication=1)
+        runner = ScenarioRunner(deployment, limits=BENCH_LIMITS)
+        report = runner.produce_blocks(6, txs_per_block=txs)
+        light = deployment.attach_light_client()
+        block = max(report.blocks, key=lambda b: len(b.transactions))
+        for tx in block.transactions[: profile.pick(4, 8)]:
+            deployment.spv_check(light.node_id, block.block_hash, tx.txid)
+            deployment.run()
+        outputs.append((f"txs{txs}", deployment))
+    return outputs
+
+
+WORKLOAD = BenchWorkload(
+    bench_id="e13",
+    title="SPV proof service over growing blocks",
+    run=_bench_workload,
+)

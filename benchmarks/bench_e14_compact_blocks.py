@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from benchmarks.conftest import build_ici, emit, run_once
 from repro.analysis.tables import format_bytes, render_table
+from repro.bench.workload import BenchWorkload
 from repro.net.message import MessageKind
 from repro.sim.runner import ScenarioRunner
 from repro.sim.scenario import BENCH_LIMITS
@@ -87,3 +88,24 @@ def test_e14_compact_blocks(benchmark, results_dir):
         assert compact_deployment.cluster_holds_full_ledger(
             view.cluster_id
         )
+
+
+# ---------------------------------------------------------- perf workload
+def _bench_workload(profile):
+    blocks = profile.pick(4, N_BLOCKS)
+    outputs = []
+    for label, compact in (("full-bodies", False), ("compact", True)):
+        deployment = build_ici(
+            N_NODES, N_CLUSTERS, replication=1, compact_blocks=compact
+        )
+        runner = ScenarioRunner(deployment, limits=BENCH_LIMITS)
+        runner.produce_blocks_via_relay(blocks, txs_per_block=TXS)
+        outputs.append((label, deployment))
+    return outputs
+
+
+WORKLOAD = BenchWorkload(
+    bench_id="e14",
+    title="compact vs full-body dissemination over relay",
+    run=_bench_workload,
+)

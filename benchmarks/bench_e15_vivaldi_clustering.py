@@ -13,6 +13,7 @@ import statistics
 
 from benchmarks.conftest import emit, run_once
 from repro.analysis.tables import format_seconds, render_table
+from repro.bench.workload import BenchWorkload
 from repro.clustering.coordinates import place_regions
 from repro.clustering.vivaldi import VivaldiEstimator, embedding_quality
 from repro.core.config import ICIConfig
@@ -110,3 +111,43 @@ def test_e15_vivaldi_clustering(benchmark, results_dir):
     vivaldi_gain = baseline - results["kmeans (vivaldi)"]
     assert vivaldi_gain > 0.5 * oracle_gain
     assert quality["median_error"] < 0.2
+
+
+# ---------------------------------------------------------- perf workload
+def _workload_variant(clustering, coordinates, blocks):
+    true_points = place_regions(N_NODES, n_regions=N_CLUSTERS, seed=13)
+    deployment = ICIDeployment(
+        N_NODES,
+        config=ICIConfig(
+            n_clusters=N_CLUSTERS,
+            replication=1,
+            clustering=clustering,
+            limits=BENCH_LIMITS,
+            seed=13,
+        ),
+        network=Network(latency=CoordinateLatency(true_points)),
+        coordinates=coordinates,
+    )
+    runner = ScenarioRunner(deployment, limits=BENCH_LIMITS)
+    report = runner.produce_blocks(blocks, txs_per_block=5)
+    retrieval_latency(deployment, report.block_hashes)
+    return deployment
+
+
+def _bench_workload(profile):
+    blocks = profile.pick(3, N_BLOCKS)
+    true_points = place_regions(N_NODES, n_regions=N_CLUSTERS, seed=13)
+    estimated = VivaldiEstimator(N_NODES, seed=13).estimate_from_model(
+        CoordinateLatency(true_points), rounds=profile.pick(10, 40)
+    )
+    return [
+        ("random", _workload_variant("random", None, blocks)),
+        ("vivaldi", _workload_variant("kmeans", list(estimated), blocks)),
+    ]
+
+
+WORKLOAD = BenchWorkload(
+    bench_id="e15",
+    title="vivaldi embedding + clustered retrieval",
+    run=_bench_workload,
+)

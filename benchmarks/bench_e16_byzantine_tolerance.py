@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from benchmarks.conftest import emit, run_once
 from repro.analysis.tables import render_table
+from repro.bench.workload import BenchWorkload
 from repro.consensus.quorum import byzantine_quorum, max_byzantine_tolerated
 from repro.core.config import ICIConfig
 from repro.core.icistrategy import ICIDeployment
@@ -99,3 +100,41 @@ def test_e16_byzantine_tolerance(benchmark, results_dir):
     for replication in REPLICATIONS:
         assert acceptance[(replication, 3)] < 1.0
         assert acceptance[(replication, 4)] < 1.0
+
+
+# ---------------------------------------------------------- perf workload
+def _workload_run(n_liars: int, replication: int, blocks: int):
+    deployment = ICIDeployment(
+        CLUSTER_SIZE,
+        config=ICIConfig(
+            n_clusters=1, replication=replication, limits=BENCH_LIMITS
+        ),
+    )
+    deployment.byzantine = {
+        CLUSTER_SIZE - 1 - index: "vote_reject"
+        for index in range(n_liars)
+    }
+    runner = ScenarioRunner(deployment, limits=BENCH_LIMITS)
+    runner.produce_blocks(blocks, txs_per_block=3)
+    return deployment
+
+
+def _bench_workload(profile):
+    blocks = profile.pick(3, N_BLOCKS)
+    outputs = []
+    for replication in profile.pick((3,), REPLICATIONS):
+        for n_liars in profile.pick((0, 2), LIAR_COUNTS):
+            outputs.append(
+                (
+                    f"r{replication}-liars{n_liars}",
+                    _workload_run(n_liars, replication, blocks),
+                )
+            )
+    return outputs
+
+
+WORKLOAD = BenchWorkload(
+    bench_id="e16",
+    title="byzantine vote sweep in one cluster",
+    run=_bench_workload,
+)

@@ -14,6 +14,7 @@ import statistics
 
 from benchmarks.conftest import build_ici, drive, emit, run_once
 from repro.analysis.tables import format_bytes, format_seconds, render_table
+from repro.bench.workload import BenchWorkload
 
 POPULATIONS = (48, 96, 144)
 CLUSTER_SIZE = 8
@@ -78,3 +79,22 @@ def test_e17_scalability(benchmark, results_dir):
     assert last[1] < 1.3 * first[1], "per-node storage grew with N"
     assert last[2] < 1.6 * first[2], "per-node traffic grew with N"
     assert last[3] < 2.0 * first[3], "finalize latency grew with N"
+
+
+# ---------------------------------------------------------- perf workload
+def _bench_workload(profile):
+    populations = profile.pick((24, 48), POPULATIONS)
+    blocks = profile.pick(3, N_BLOCKS)
+    outputs = []
+    for n in populations:
+        deployment = build_ici(n, n // CLUSTER_SIZE, replication=1)
+        drive(deployment, blocks)
+        outputs.append((f"n{n}", deployment))
+    return outputs
+
+
+WORKLOAD = BenchWorkload(
+    bench_id="e17",
+    title="per-node cost sweep across populations",
+    run=_bench_workload,
+)

@@ -19,6 +19,7 @@ from benchmarks.conftest import (
 )
 from repro.analysis.plots import ascii_series
 from repro.analysis.tables import format_bytes, render_table
+from repro.bench.workload import BenchWorkload
 from repro.storage.accounting import (
     full_replication_total,
     ici_per_node,
@@ -103,3 +104,26 @@ def test_e1_storage_growth(benchmark, results_dir):
     full_total = deployments["full"].storage_report().total_bytes
     per_node = full_total / N_NODES
     assert full_total == full_replication_total(N_NODES, per_node)
+
+
+# ---------------------------------------------------------- perf workload
+def _bench_workload(profile):
+    n_nodes = profile.pick(24, N_NODES)
+    groups = profile.pick(3, N_CLUSTERS)
+    n_blocks = profile.pick(6, CHECKPOINTS[-1])
+    outputs = []
+    for name, deployment in (
+        ("full", build_full(n_nodes)),
+        ("rapidchain", build_rapid(n_nodes, groups)),
+        ("ici", build_ici(n_nodes, groups, replication=1)),
+    ):
+        drive(deployment, n_blocks)
+        outputs.append((name, deployment))
+    return outputs
+
+
+WORKLOAD = BenchWorkload(
+    bench_id="e1",
+    title="storage growth: drive all three strategies",
+    run=_bench_workload,
+)

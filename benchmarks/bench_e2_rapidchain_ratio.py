@@ -20,6 +20,7 @@ from benchmarks.conftest import (
 )
 from repro.analysis.stats import relative_error
 from repro.analysis.tables import format_bytes, render_table
+from repro.bench.workload import BenchWorkload
 from repro.storage.accounting import (
     full_replication_total,
     ici_total,
@@ -135,3 +136,23 @@ def test_e2_rapidchain_ratio(benchmark, results_dir):
     assert relative_error(sim_ratio, expected_ratio) < 0.10
     # Paper-literal placement lands on the 25% claim within 3%.
     assert relative_error(measured["paper_scale_ratio"], 0.25) < 0.03
+
+
+# ---------------------------------------------------------- perf workload
+def _bench_workload(profile):
+    n = profile.pick(40, SIM_N)
+    committees = profile.pick(4, SIM_COMMITTEES)
+    clusters = profile.pick(10, SIM_CLUSTERS)
+    blocks = profile.pick(5, SIM_BLOCKS)
+    rapid = build_rapid(n, committees)
+    drive(rapid, blocks)
+    ici = build_ici(n, clusters, replication=1)
+    drive(ici, blocks)
+    return [("rapidchain", rapid), ("ici", ici)]
+
+
+WORKLOAD = BenchWorkload(
+    bench_id="e2",
+    title="rapidchain ratio: simulator cross-check populations",
+    run=_bench_workload,
+)

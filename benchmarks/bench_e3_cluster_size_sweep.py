@@ -11,6 +11,7 @@ from benchmarks.conftest import build_ici, drive, emit, run_once
 from repro.analysis.plots import ascii_series
 from repro.analysis.stats import relative_error
 from repro.analysis.tables import format_bytes, render_table
+from repro.bench.workload import BenchWorkload
 from repro.storage.accounting import ici_per_node
 
 N_NODES = 60
@@ -82,3 +83,23 @@ def test_e3_cluster_size_sweep(benchmark, results_dir):
             )
             < 0.15
         )
+
+
+# ---------------------------------------------------------- perf workload
+def _bench_workload(profile):
+    n_nodes = profile.pick(20, N_NODES)
+    sweep = profile.pick(((10, 2), (2, 10)), SWEEP)
+    blocks = profile.pick(4, N_BLOCKS)
+    outputs = []
+    for n_clusters, cluster_size in sweep:
+        deployment = build_ici(n_nodes, n_clusters, replication=1)
+        drive(deployment, blocks)
+        outputs.append((f"m={cluster_size}", deployment))
+    return outputs
+
+
+WORKLOAD = BenchWorkload(
+    bench_id="e3",
+    title="cluster size sweep: 1/m storage decay",
+    run=_bench_workload,
+)

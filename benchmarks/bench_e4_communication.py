@@ -20,6 +20,7 @@ from benchmarks.conftest import (
 )
 from repro.analysis.plots import ascii_series
 from repro.analysis.tables import format_bytes, render_table
+from repro.bench.workload import BenchWorkload
 from repro.storage.communication import ici_advantage_factor
 
 POPULATIONS = (24, 48, 72)
@@ -104,3 +105,27 @@ def test_e4_communication(benchmark, results_dir):
     first_gain = series["full"][0] / series["ici"][0]
     last_gain = series["full"][-1] / series["ici"][-1]
     assert last_gain > first_gain * 0.8
+
+
+# ---------------------------------------------------------- perf workload
+def _bench_workload(profile):
+    populations = profile.pick((24,), POPULATIONS)
+    blocks = profile.pick(3, N_BLOCKS)
+    outputs = []
+    for n in populations:
+        groups = n // GROUP_SIZE
+        for name, deployment in (
+            ("full", build_full(n)),
+            ("rapidchain", build_rapid(n, groups)),
+            ("ici", build_ici(n, groups, replication=1)),
+        ):
+            drive(deployment, blocks)
+            outputs.append((f"{name}-{n}", deployment))
+    return outputs
+
+
+WORKLOAD = BenchWorkload(
+    bench_id="e4",
+    title="dissemination traffic across populations",
+    run=_bench_workload,
+)

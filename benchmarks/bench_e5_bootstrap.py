@@ -20,6 +20,7 @@ from benchmarks.conftest import (
 from repro.analysis.plots import ascii_bars
 from repro.analysis.tables import format_bytes, format_seconds, render_table
 from repro.baselines.spv import spv_bootstrap_bytes
+from repro.bench.workload import BenchWorkload
 
 N_NODES = 48
 GROUPS = 6          # size-8 committees/clusters
@@ -88,3 +89,28 @@ def test_e5_bootstrap(benchmark, results_dir):
     assert results["ici"][0] < 6 * results["spv floor"][0] + results[
         "rapidchain"
     ][0]
+
+
+# ---------------------------------------------------------- perf workload
+def _bench_workload(profile):
+    n_nodes = profile.pick(16, N_NODES)
+    groups = profile.pick(2, GROUPS)
+    blocks = profile.pick(6, N_BLOCKS)
+    outputs = []
+    for name, deployment in (
+        ("full", build_full(n_nodes)),
+        ("rapidchain", build_rapid(n_nodes, groups)),
+        ("ici", build_ici(n_nodes, groups, replication=1)),
+    ):
+        drive(deployment, blocks)
+        deployment.join_new_node()
+        deployment.run()
+        outputs.append((name, deployment))
+    return outputs
+
+
+WORKLOAD = BenchWorkload(
+    bench_id="e5",
+    title="bootstrap: drive chain then join a node",
+    run=_bench_workload,
+)

@@ -15,6 +15,7 @@ import statistics
 from benchmarks.conftest import build_ici, drive, emit, run_once
 from repro.analysis.plots import ascii_series
 from repro.analysis.tables import format_seconds, render_table
+from repro.bench.workload import BenchWorkload
 
 N_NODES = 64
 CLUSTER_SIZES = (4, 8, 16, 32)
@@ -95,3 +96,28 @@ def test_e6_verification_latency(benchmark, results_dir):
     assert max(aggregated) < 4 * min(aggregated)
     # Aggregation sends far fewer messages at large m.
     assert messages_bcast[-1] > 1.5 * messages_agg[-1]
+
+
+# ---------------------------------------------------------- perf workload
+def _bench_workload(profile):
+    n_nodes = profile.pick(16, N_NODES)
+    sizes = profile.pick((4, 8), CLUSTER_SIZES)
+    blocks = profile.pick(3, N_BLOCKS)
+    outputs = []
+    for cluster_size in sizes:
+        deployment = build_ici(
+            n_nodes,
+            n_nodes // cluster_size,
+            replication=1,
+            aggregate_votes=True,
+        )
+        drive(deployment, blocks)
+        outputs.append((f"agg-m{cluster_size}", deployment))
+    return outputs
+
+
+WORKLOAD = BenchWorkload(
+    bench_id="e6",
+    title="verification latency: cluster-size sweep (aggregated)",
+    run=_bench_workload,
+)

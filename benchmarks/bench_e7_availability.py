@@ -11,6 +11,7 @@ from __future__ import annotations
 from benchmarks.conftest import build_ici, drive, emit, run_once
 from repro.analysis.plots import ascii_series
 from repro.analysis.tables import render_table
+from repro.bench.workload import BenchWorkload
 from repro.chain.block import BlockHeader
 from repro.crypto.hashing import ZERO_HASH, sha256
 from repro.storage.placement import RendezvousPlacement
@@ -140,3 +141,31 @@ def test_e7_availability(benchmark, results_dir):
     # r=3 survives everything up to f=2 by construction.
     assert survival["r=3"][0] == 1.0
     assert survival["r=3"][1] == 1.0
+
+
+# ---------------------------------------------------------- perf workload
+def _bench_workload(profile):
+    samples = profile.pick(10, MC_SAMPLES)
+    members = list(range(CLUSTER_SIZE))
+    headers = [
+        header_at(h) for h in range(profile.pick(50, N_BLOCKS_MC))
+    ]
+    policy = RendezvousPlacement()
+    for r in REPLICATIONS:
+        for f in FAIL_COUNTS:
+            for failed in sample_failure_sets(
+                members, f, samples, seed=r * 100 + f
+            ):
+                availability_under_failures(
+                    headers, members, r, policy, failed
+                )
+    deployment = build_ici(16, 2, replication=2)
+    drive(deployment, profile.pick(3, 6))
+    return [("ici-r2", deployment)]
+
+
+WORKLOAD = BenchWorkload(
+    bench_id="e7",
+    title="availability Monte-Carlo + live r=2 deployment",
+    run=_bench_workload,
+)

@@ -17,6 +17,7 @@ from benchmarks.conftest import (
     run_once,
 )
 from repro.analysis.tables import render_table
+from repro.bench.workload import BenchWorkload
 from repro.sim.runner import ScenarioRunner
 from repro.sim.scenario import BENCH_LIMITS
 
@@ -86,3 +87,32 @@ def test_e8_throughput(benchmark, results_dir):
     for name in results:
         assert results[name][2] == N_BLOCKS, f"{name} fell behind"
     assert results["ici"][0] > 0.9 * results["full"][0]
+
+
+# ---------------------------------------------------------- perf workload
+def _bench_workload(profile):
+    n_nodes = profile.pick(16, N_NODES)
+    groups = profile.pick(2, GROUPS)
+    n_blocks = profile.pick(6, N_BLOCKS)
+    txs = profile.pick(4, TXS_PER_BLOCK)
+    outputs = []
+    for name, deployment in (
+        ("full", build_full(n_nodes)),
+        ("rapidchain", build_rapid(n_nodes, groups)),
+        ("ici", build_ici(n_nodes, groups, replication=1)),
+    ):
+        runner = ScenarioRunner(
+            deployment, limits=BENCH_LIMITS, block_interval=BLOCK_INTERVAL
+        )
+        runner.produce_blocks(
+            n_blocks, txs_per_block=txs, drain_between_blocks=False
+        )
+        outputs.append((name, deployment))
+    return outputs
+
+
+WORKLOAD = BenchWorkload(
+    bench_id="e8",
+    title="pipelined throughput: all strategies, fixed cadence",
+    run=_bench_workload,
+)

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from benchmarks.conftest import emit, run_once
 from repro.analysis.tables import render_table
+from repro.bench.workload import BenchWorkload
 from repro.chain.block import BlockHeader
 from repro.crypto.hashing import ZERO_HASH, sha256
 from repro.storage.placement import (
@@ -98,3 +99,25 @@ def test_e9_placement_ablation(benchmark, results_dir):
     )
     mean_others = sum(cap_load[m] for m in members[1:]) / (CLUSTER_SIZE - 1)
     assert cap_load[0] > 1.4 * mean_others
+
+
+# ---------------------------------------------------------- perf workload
+def _bench_workload(profile):
+    members = list(range(CLUSTER_SIZE))
+    headers = [header_at(h) for h in range(profile.pick(200, N_BLOCKS))]
+    for policy in (
+        RendezvousPlacement(),
+        ModuloSlotPlacement(),
+        RoundRobinPlacement(),
+        CapacityWeightedPlacement(capacities={0: 2.0}),
+    ):
+        placement_load(headers, members, REPLICATION, policy)
+        migration_fraction(policy, headers, members)
+    return []  # purely computational: wall-clock only, no deployments
+
+
+WORKLOAD = BenchWorkload(
+    bench_id="e9",
+    title="placement policies over a long synthetic chain",
+    run=_bench_workload,
+)

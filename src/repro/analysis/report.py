@@ -195,6 +195,61 @@ def _section_latency(deployment) -> str:
     return "## Latency\n\n" + _md_table(["quantity", "value"], rows)
 
 
+# ------------------------------------------------------- benchmark summary
+def render_bench_summary(payload: dict, comparison=None) -> str:
+    """Markdown summary of one benchmark-suite payload.
+
+    ``payload`` is a :mod:`repro.bench.schema` document; ``comparison``
+    is an optional :class:`repro.bench.baseline.BaselineComparison` whose
+    verdict gets appended.
+    """
+    host = payload.get("host", {})
+    lines = [
+        f"# Benchmark run ({payload['profile']} profile)",
+        "",
+        f"- created: {payload.get('created_at', 'unknown')}",
+        f"- python: {host.get('python', 'unknown')} "
+        f"on {host.get('platform', 'unknown')}",
+        f"- calibration kernel: "
+        f"{payload['calibration']['wall_seconds']:.4f}s",
+        "",
+    ]
+    rows = []
+    for bench_id, entry in payload["benchmarks"].items():
+        wall = entry["wall_seconds"]
+        simulated = entry["simulated"]
+        messages = sum(
+            sim.get("messages", 0) for sim in simulated.values()
+        )
+        rows.append(
+            (
+                bench_id,
+                entry.get("title", ""),
+                f"{wall['min']:.3f}",
+                f"{wall['mean']:.3f}",
+                f"{entry.get('peak_rss_kb', 0) // 1024} MB",
+                messages or "-",
+            )
+        )
+    lines.append(
+        _md_table(
+            [
+                "bench",
+                "kernel",
+                "wall min (s)",
+                "wall mean (s)",
+                "peak RSS",
+                "sim messages",
+            ],
+            rows,
+        )
+    )
+    if comparison is not None:
+        lines += ["", "## Baseline comparison", ""]
+        lines += [f"- {line}" for line in comparison.summary_lines()]
+    return "\n".join(lines) + "\n"
+
+
 def _section_events(deployment) -> str:
     metrics = deployment.metrics
     rows = []

@@ -1,0 +1,168 @@
+"""Comparison of a benchmark run against the committed baseline.
+
+Two very different kinds of drift are gated separately:
+
+* **Simulated metrics** (virtual time, message/byte totals, per-kind
+  router counters) are machine-independent — any difference at all means
+  the protocols changed behaviour, so the comparison demands *exact*
+  equality.  ``tests/test_determinism.py`` guards the same invariant at
+  unit scale.
+* **Wall-clock** depends on the machine.  Each payload carries a
+  calibration time (fixed hashing kernel), so the candidate's wall time
+  is first rescaled by ``baseline_calibration / candidate_calibration``
+  before the regression threshold applies.  The default gate fails a
+  bench whose normalized best-of-reps wall time regressed by more than
+  25% over the baseline.
+
+Benches present only on one side are reported but never fail the gate —
+adding a bench must not require regenerating everyone's baselines in the
+same commit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Default wall-clock regression tolerance (fraction over baseline).
+DEFAULT_TOLERANCE = 0.25
+
+
+@dataclass
+class BenchDelta:
+    """One bench's wall-clock movement vs the baseline."""
+
+    bench_id: str
+    baseline_seconds: float
+    candidate_seconds: float      # normalized to baseline machine speed
+    ratio: float                  # candidate / baseline, after normalizing
+
+    def describe(self) -> str:
+        direction = "slower" if self.ratio > 1 else "faster"
+        return (
+            f"{self.bench_id}: {self.baseline_seconds:.3f}s -> "
+            f"{self.candidate_seconds:.3f}s normalized "
+            f"({abs(self.ratio - 1) * 100:.1f}% {direction})"
+        )
+
+
+@dataclass
+class BaselineComparison:
+    """Outcome of comparing a candidate payload against a baseline."""
+
+    tolerance: float
+    deltas: list[BenchDelta] = field(default_factory=list)
+    regressions: list[BenchDelta] = field(default_factory=list)
+    simulated_drift: list[str] = field(default_factory=list)
+    missing_benches: list[str] = field(default_factory=list)
+    new_benches: list[str] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        """True when no bench regressed and no simulated metric drifted."""
+        return not self.regressions and not self.simulated_drift
+
+    def summary_lines(self) -> list[str]:
+        """Human-readable report, one line per noteworthy fact."""
+        lines = []
+        for delta in self.deltas:
+            marker = "FAIL" if delta in self.regressions else "ok"
+            lines.append(f"[{marker}] {delta.describe()}")
+        lines.extend(
+            f"[FAIL] simulated drift: {item}"
+            for item in self.simulated_drift
+        )
+        lines.extend(
+            f"[note] in baseline but not in this run: {bench_id}"
+            for bench_id in self.missing_benches
+        )
+        lines.extend(
+            f"[note] new bench without baseline: {bench_id}"
+            for bench_id in self.new_benches
+        )
+        lines.append(
+            "RESULT: "
+            + ("pass" if self.passed else "FAIL")
+            + f" (tolerance {self.tolerance:.0%}, "
+            + f"{len(self.deltas)} benches compared)"
+        )
+        return lines
+
+
+def compare_to_baseline(
+    candidate: dict,
+    baseline: dict,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> BaselineComparison:
+    """Gate ``candidate`` against ``baseline`` (both schema payloads).
+
+    Wall-clock uses the min sample (least-noise estimator) normalized by
+    the calibration ratio; simulated metrics must match exactly.  Only
+    benches present in both payloads are gated.  Comparing runs from
+    different profiles is refused — the workload sizes differ, so the
+    numbers are not comparable.
+    """
+    if candidate.get("profile") != baseline.get("profile"):
+        raise ValueError(
+            f"cannot compare profile {candidate.get('profile')!r} "
+            f"against baseline profile {baseline.get('profile')!r}"
+        )
+    speed_ratio = (
+        baseline["calibration"]["wall_seconds"]
+        / candidate["calibration"]["wall_seconds"]
+    )
+    comparison = BaselineComparison(tolerance=tolerance)
+    base_benches = baseline["benchmarks"]
+    cand_benches = candidate["benchmarks"]
+    comparison.missing_benches = sorted(
+        set(base_benches) - set(cand_benches)
+    )
+    comparison.new_benches = sorted(set(cand_benches) - set(base_benches))
+    for bench_id in sorted(set(base_benches) & set(cand_benches)):
+        base = base_benches[bench_id]
+        cand = cand_benches[bench_id]
+        normalized = cand["wall_seconds"]["min"] * speed_ratio
+        delta = BenchDelta(
+            bench_id=bench_id,
+            baseline_seconds=base["wall_seconds"]["min"],
+            candidate_seconds=normalized,
+            ratio=normalized / base["wall_seconds"]["min"],
+        )
+        comparison.deltas.append(delta)
+        if delta.ratio > 1 + tolerance:
+            comparison.regressions.append(delta)
+        comparison.simulated_drift.extend(
+            _diff_simulated(bench_id, base["simulated"], cand["simulated"])
+        )
+    return comparison
+
+
+def _diff_simulated(
+    bench_id: str, base: dict, cand: dict
+) -> list[str]:
+    """Exact-equality diff of two simulated-metric maps, path-labelled."""
+    problems: list[str] = []
+    for label in sorted(set(base) | set(cand)):
+        if label not in cand:
+            problems.append(f"{bench_id}/{label}: missing from this run")
+            continue
+        if label not in base:
+            problems.append(f"{bench_id}/{label}: not in baseline")
+            continue
+        if base[label] != cand[label]:
+            problems.extend(
+                f"{bench_id}/{label}: {key} {base[label].get(key)!r} "
+                f"-> {cand[label].get(key)!r}"
+                for key in sorted(
+                    set(base[label]) | set(cand[label])
+                )
+                if base[label].get(key) != cand[label].get(key)
+            )
+    return problems
+
+
+__all__ = [
+    "DEFAULT_TOLERANCE",
+    "BenchDelta",
+    "BaselineComparison",
+    "compare_to_baseline",
+]

@@ -1,0 +1,49 @@
+"""Benchmark execution profiles: how big and how often.
+
+Two profiles ship: ``quick`` (CI-sized — small populations, few blocks,
+two timed repetitions) and ``full`` (the experiments at their published
+bench sizes, five repetitions).  Workloads scale themselves through
+:meth:`BenchProfile.pick` so every bench honours the profile the same way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TypeVar
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class BenchProfile:
+    """One execution recipe for the benchmark protocol.
+
+    Attributes:
+        name: profile identifier recorded in result payloads.
+        warmup: untimed runs before measurement (cache/JIT-style warming —
+            here mostly the hash memoization layers).
+        repetitions: timed runs; the schema stores every sample plus
+            min/mean/max.
+        time_budget_seconds: soft per-suite budget the profile is designed
+            for; the quick-profile test asserts it holds on the tested
+            subset.
+    """
+
+    name: str
+    warmup: int
+    repetitions: int
+    time_budget_seconds: float
+
+    def pick(self, quick: T, full: T) -> T:
+        """Choose a workload size for this profile."""
+        return quick if self.name == "quick" else full
+
+
+QUICK = BenchProfile(
+    name="quick", warmup=1, repetitions=2, time_budget_seconds=120.0
+)
+FULL = BenchProfile(
+    name="full", warmup=1, repetitions=5, time_budget_seconds=1200.0
+)
+
+PROFILES: dict[str, BenchProfile] = {p.name: p for p in (QUICK, FULL)}

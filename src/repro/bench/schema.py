@@ -1,0 +1,137 @@
+"""Versioned machine-readable schema for benchmark results.
+
+One suite run serializes to a single JSON document::
+
+    {
+      "schema": "repro-bench",
+      "schema_version": 1,
+      "profile": "quick",
+      "created_at": "2026-01-01T00:00:00+00:00",
+      "host": {"python": "3.11.7", "platform": "Linux-..."},
+      "calibration": {"wall_seconds": 0.021},
+      "benchmarks": {
+        "e8": {
+          "title": "...",
+          "wall_seconds": {"min": .., "mean": .., "max": .., "samples": [..]},
+          "peak_rss_kb": 123456,
+          "simulated": {"<label>": {"virtual_seconds": ..,
+                                     "messages": ..,
+                                     "bytes": ..,
+                                     "events_processed": ..,
+                                     "message_kinds": {...}}}
+        }, ...
+      },
+      "optimizations": [ ... ]        # optional; carried by the baseline
+    }
+
+``calibration.wall_seconds`` times a fixed CPU-bound hashing kernel on the
+measuring machine, so wall-clock comparisons across machines can be
+normalized by relative machine speed (see :mod:`repro.bench.baseline`).
+The ``optimizations`` list is free-form provenance: committed baselines
+use it to record before/after wall-clock for each hot-path optimization.
+
+Bump :data:`SCHEMA_VERSION` on any incompatible shape change; readers
+reject newer versions loudly rather than misparse them.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from statistics import fmean
+from typing import Any
+
+SCHEMA_NAME = "repro-bench"
+SCHEMA_VERSION = 1
+
+
+def wall_stats(samples: list[float]) -> dict[str, Any]:
+    """The wall-clock block for a list of timed repetitions."""
+    if not samples:
+        raise ValueError("wall_stats requires at least one sample")
+    return {
+        "min": min(samples),
+        "mean": fmean(samples),
+        "max": max(samples),
+        "samples": list(samples),
+    }
+
+
+def validate_payload(payload: Any) -> list[str]:
+    """Structural validation; returns a list of problems (empty = valid)."""
+    errors: list[str] = []
+    if not isinstance(payload, dict):
+        return ["payload is not a JSON object"]
+    if payload.get("schema") != SCHEMA_NAME:
+        errors.append(f"schema must be {SCHEMA_NAME!r}")
+    version = payload.get("schema_version")
+    if not isinstance(version, int):
+        errors.append("schema_version must be an integer")
+    elif version > SCHEMA_VERSION:
+        errors.append(
+            f"schema_version {version} is newer than supported "
+            f"{SCHEMA_VERSION}"
+        )
+    if not isinstance(payload.get("profile"), str):
+        errors.append("profile must be a string")
+    calibration = payload.get("calibration")
+    if (
+        not isinstance(calibration, dict)
+        or not isinstance(calibration.get("wall_seconds"), (int, float))
+        or calibration.get("wall_seconds", 0) <= 0
+    ):
+        errors.append("calibration.wall_seconds must be a positive number")
+    benchmarks = payload.get("benchmarks")
+    if not isinstance(benchmarks, dict):
+        errors.append("benchmarks must be an object")
+        return errors
+    for bench_id, entry in benchmarks.items():
+        prefix = f"benchmarks[{bench_id!r}]"
+        if not isinstance(entry, dict):
+            errors.append(f"{prefix} is not an object")
+            continue
+        wall = entry.get("wall_seconds")
+        if not isinstance(wall, dict):
+            errors.append(f"{prefix}.wall_seconds missing")
+        else:
+            for key in ("min", "mean", "max"):
+                if not isinstance(wall.get(key), (int, float)):
+                    errors.append(f"{prefix}.wall_seconds.{key} missing")
+            samples = wall.get("samples")
+            if not isinstance(samples, list) or not samples:
+                errors.append(f"{prefix}.wall_seconds.samples empty")
+        simulated = entry.get("simulated")
+        if not isinstance(simulated, dict):
+            errors.append(f"{prefix}.simulated missing")
+            continue
+        for label, sim in simulated.items():
+            sim_prefix = f"{prefix}.simulated[{label!r}]"
+            if not isinstance(sim, dict):
+                errors.append(f"{sim_prefix} is not an object")
+                continue
+            for key in ("virtual_seconds", "messages", "bytes"):
+                if not isinstance(sim.get(key), (int, float)):
+                    errors.append(f"{sim_prefix}.{key} missing")
+            if not isinstance(sim.get("message_kinds"), dict):
+                errors.append(f"{sim_prefix}.message_kinds missing")
+    return errors
+
+
+def dump_payload(payload: dict, path: Path) -> None:
+    """Write a payload as stable, human-diffable JSON."""
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+
+
+def load_payload(path: Path) -> dict:
+    """Read and validate a payload; raises ``ValueError`` on problems."""
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    errors = validate_payload(payload)
+    if errors:
+        raise ValueError(
+            f"{path} is not a valid {SCHEMA_NAME} document: "
+            + "; ".join(errors)
+        )
+    return payload

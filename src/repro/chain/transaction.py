@@ -20,9 +20,14 @@ from repro.crypto.signatures import SIGNATURE_SIZE, sign
 from repro.errors import ValidationError
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class OutPoint:
-    """A reference to a specific output of a previous transaction."""
+    """A reference to a specific output of a previous transaction.
+
+    Outpoints key the UTXO set, so every validation and apply path hashes
+    them constantly — the hash is computed once at construction and the
+    comparison methods are hand-written to avoid tuple building.
+    """
 
     txid: Hash32
     index: int
@@ -32,6 +37,17 @@ class OutPoint:
             raise ValidationError("outpoint txid must be 32 bytes")
         if self.index < 0:
             raise ValidationError("outpoint index must be non-negative")
+        object.__setattr__(self, "_hash", hash((self.txid, self.index)))
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if type(other) is not OutPoint:
+            return NotImplemented
+        return self.index == other.index and self.txid == other.txid
+
+    def __hash__(self) -> int:
+        return self._hash  # type: ignore[attr-defined]
 
     def serialize(self) -> bytes:
         """36-byte wire form: txid || uint32 index."""
@@ -139,7 +155,7 @@ class Transaction:
         """True when this transaction mints new coins (no inputs)."""
         return not self.inputs
 
-    @property
+    @cached_property
     def total_output_value(self) -> int:
         """Sum of all output values."""
         return sum(out.value for out in self.outputs)
@@ -163,7 +179,7 @@ class Transaction:
         parts.append(self.payload)
         return b"".join(parts)
 
-    @property
+    @cached_property
     def size_bytes(self) -> int:
         """Wire size in bytes; used by every storage/communication metric."""
         return (

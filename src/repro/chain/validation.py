@@ -87,7 +87,24 @@ def check_header_linkage(header: BlockHeader, prev: BlockHeader) -> None:
 def check_block_stateless(
     block: Block, limits: ValidationLimits = DEFAULT_LIMITS
 ) -> None:
-    """Structural checks on a full block (no ledger state needed)."""
+    """Structural checks on a full block (no ledger state needed).
+
+    The outcome is a pure function of the (immutable) block and the
+    limits, and in a simulation every validating node re-checks the same
+    shared block object — so a pass is remembered on the block itself and
+    replayed for free.  Failures are never cached: a bad block re-runs the
+    checks and raises the same error each time.
+    """
+    passed = block.__dict__.get("_stateless_passed")
+    if passed is not None and limits in passed:
+        return
+    _check_block_stateless_uncached(block, limits)
+    block.__dict__.setdefault("_stateless_passed", set()).add(limits)
+
+
+def _check_block_stateless_uncached(
+    block: Block, limits: ValidationLimits
+) -> None:
     if not block.transactions:
         raise ValidationError("block must contain a coinbase transaction")
     if not block.transactions[0].is_coinbase:

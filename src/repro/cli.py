@@ -6,12 +6,16 @@ Commands:
 * ``compare``  — identical block stream through all three strategies.
 * ``join``     — bootstrap-cost demo: grow a network by one node.
 * ``experiments`` — list the reproduced experiments and their benches.
+* ``bench``    — unified benchmark harness: run the experiment workloads,
+  write versioned ``BENCH_*.json`` results, compare against the committed
+  baseline.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Sequence
 
 from repro.analysis.tables import format_bytes, format_seconds, render_table
@@ -83,6 +87,68 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     sub.add_parser("experiments", help="list reproduced experiments")
+
+    bench = sub.add_parser(
+        "bench", help="run the unified benchmark harness"
+    )
+    bench.add_argument(
+        "--profile",
+        choices=("quick", "full"),
+        default="quick",
+        help="workload sizes and repetition counts",
+    )
+    bench.add_argument(
+        "--quick",
+        action="store_const",
+        const="quick",
+        dest="profile",
+        help="shorthand for --profile quick (CI-sized)",
+    )
+    bench.add_argument(
+        "--full",
+        action="store_const",
+        const="full",
+        dest="profile",
+        help="shorthand for --profile full (published bench sizes)",
+    )
+    bench.add_argument(
+        "--filter",
+        metavar="IDS",
+        help="comma-separated bench ids to run (e.g. e8,e17)",
+    )
+    bench.add_argument(
+        "--output-dir",
+        metavar="DIR",
+        help="where BENCH_*.json + .md land (default benchmarks/results)",
+    )
+    bench.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="baseline payload to compare against "
+        "(default benchmarks/baseline.json when it exists)",
+    )
+    bench.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero on wall-clock regression or simulated drift",
+    )
+    bench.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="wall-clock regression tolerance as a fraction (default 0.25)",
+    )
+    bench.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="store this run as benchmarks/baseline.json",
+    )
+    bench.add_argument(
+        "--list",
+        action="store_true",
+        dest="list_workloads",
+        help="list discovered workloads and exit",
+    )
     return parser
 
 
@@ -236,6 +302,103 @@ def cmd_experiments(_args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    """``bench``: the unified benchmark harness."""
+    from repro.analysis.report import render_bench_summary
+    from repro.bench import (
+        PROFILES,
+        BenchmarkRunner,
+        compare_to_baseline,
+        discover_workloads,
+    )
+    from repro.bench.schema import dump_payload, load_payload
+
+    repo_root = Path(__file__).resolve().parents[2]
+    workloads = discover_workloads(repo_root / "benchmarks")
+    if args.filter:
+        wanted = {part.strip() for part in args.filter.split(",")}
+        workloads = [w for w in workloads if w.bench_id in wanted]
+        unknown = wanted - {w.bench_id for w in workloads}
+        if unknown:
+            print(
+                f"unknown bench ids: {', '.join(sorted(unknown))}",
+                file=sys.stderr,
+            )
+            return 2
+    if args.list_workloads:
+        print(
+            render_table(
+                ["bench", "kernel"],
+                [(w.bench_id, w.title) for w in workloads],
+                title=f"{len(workloads)} discovered workloads",
+            )
+        )
+        return 0
+
+    runner = BenchmarkRunner(
+        workloads, PROFILES[args.profile], progress=print
+    )
+    payload = runner.run()
+
+    output_dir = (
+        Path(args.output_dir)
+        if args.output_dir
+        else repo_root / "benchmarks" / "results"
+    )
+    json_path = runner.write(payload, output_dir)
+    print(f"results written to {json_path}")
+
+    baseline_path = (
+        Path(args.baseline)
+        if args.baseline
+        else repo_root / "benchmarks" / "baseline.json"
+    )
+    comparison = None
+    if baseline_path.exists() and not args.write_baseline:
+        baseline = load_payload(baseline_path)
+        if baseline.get("profile") == payload["profile"]:
+            comparison = compare_to_baseline(
+                payload, baseline, tolerance=args.tolerance
+            )
+            for line in comparison.summary_lines():
+                print(line)
+        elif args.check:
+            print(
+                f"baseline {baseline_path} holds a "
+                f"{baseline.get('profile')!r}-profile run; cannot gate a "
+                f"{payload['profile']!r} run against it",
+                file=sys.stderr,
+            )
+            return 2
+
+    md_path = json_path.with_suffix(".md")
+    md_path.write_text(
+        render_bench_summary(payload, comparison), encoding="utf-8"
+    )
+    print(f"summary written to {md_path}")
+
+    if args.write_baseline:
+        # Keep the provenance section: committed baselines carry the
+        # before/after history of hot-path optimizations.
+        if baseline_path.exists():
+            previous = load_payload(baseline_path)
+            if "optimizations" in previous:
+                payload["optimizations"] = previous["optimizations"]
+        dump_payload(payload, baseline_path)
+        print(f"baseline written to {baseline_path}")
+
+    if args.check:
+        if comparison is None:
+            print(
+                f"--check requires a comparable baseline at "
+                f"{baseline_path}",
+                file=sys.stderr,
+            )
+            return 2
+        return 0 if comparison.passed else 1
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -244,6 +407,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "compare": cmd_compare,
         "join": cmd_join,
         "experiments": cmd_experiments,
+        "bench": cmd_bench,
     }
     return handlers[args.command](args)
 

@@ -9,6 +9,7 @@ wire sizes and signing, plus the CPU-cost bookkeeping that makes
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.chain.block import Block
 from repro.chain.validation import (
@@ -124,9 +125,12 @@ class QuorumCertificate:
         return True
 
 
+@lru_cache(maxsize=1 << 16)
 def _attest_message(
     domain: bytes, block_hash: Hash32, node: int, vote: Vote
 ) -> bytes:
+    # Memoized: signing and every verifying member rebuild the identical
+    # statement bytes for the same (domain, block, node, vote).
     return (
         b"repro/attest/" + domain + b"/"
         + block_hash

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import hashlib
 import struct
+from functools import lru_cache
 from typing import Iterable, Union
 
 #: A 32-byte digest.  Plain ``bytes`` at runtime; the alias documents intent.
@@ -33,8 +34,14 @@ def sha256d(data: _BytesLike) -> Hash32:
     return hashlib.sha256(hashlib.sha256(bytes(data)).digest()).digest()
 
 
+@lru_cache(maxsize=1 << 16)
 def hash_concat(left: Hash32, right: Hash32) -> Hash32:
-    """Hash the concatenation of two digests (Merkle inner node)."""
+    """Hash the concatenation of two digests (Merkle inner node).
+
+    Memoized: rebuilding the Merkle tree of a block another node already
+    built (body deserialization, SPV proof folding) repeats exactly these
+    inner-node hashes.
+    """
     return sha256d(left + right)
 
 

@@ -13,6 +13,7 @@ from __future__ import annotations
 import hashlib
 import hmac
 from dataclasses import dataclass, field
+from functools import lru_cache
 
 from repro.crypto.hashing import sha256
 
@@ -36,8 +37,13 @@ def derive_public_key(private_key: bytes) -> bytes:
     return parity + digest
 
 
+@lru_cache(maxsize=1 << 16)
 def address_of(public_key: bytes) -> bytes:
-    """Derive a 20-byte address from a public key (hash-then-truncate)."""
+    """Derive a 20-byte address from a public key (hash-then-truncate).
+
+    Memoized: stateful validation re-derives the address of every input's
+    witness on every validating node, over a small population of wallets.
+    """
     if len(public_key) != PUBLIC_KEY_SIZE:
         raise ValueError(f"public key must be {PUBLIC_KEY_SIZE} bytes")
     return sha256(public_key)[:ADDRESS_SIZE]

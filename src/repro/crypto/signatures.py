@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import hashlib
 import hmac
+from functools import lru_cache
 
 from repro.crypto.keys import KeyPair, PUBLIC_KEY_SIZE
 from repro.errors import SignatureError
@@ -55,11 +56,20 @@ def verify(public_key: bytes, message: bytes, signature: bytes) -> bool:
 
     Returns ``True``/``False`` rather than raising; callers at consensus
     boundaries convert a ``False`` into :class:`~repro.errors.ValidationError`.
+
+    Verification is memoized: in a simulated deployment every cluster
+    member re-verifies the same (key, message, signature) triple, and the
+    outcome is a pure function of those bytes.
     """
     if len(public_key) != PUBLIC_KEY_SIZE:
         return False
     if len(signature) != SIGNATURE_SIZE:
         return False
+    return _verify_cached(public_key, message, signature)
+
+
+@lru_cache(maxsize=1 << 16)
+def _verify_cached(public_key: bytes, message: bytes, signature: bytes) -> bool:
     tag, outer = signature[:32], signature[32:]
     expected = _outer_mac(public_key, message, tag)
     return hmac.compare_digest(outer, expected)

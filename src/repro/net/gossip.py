@@ -110,17 +110,20 @@ class GossipProtocol(Generic[T]):
         return True
 
     def _announce(self, node_id: int, item_id: Hashable) -> None:
-        for peer in self._network.peers_of(node_id):
-            self.stats.announces_sent += 1
-            self._network.send(
-                sized_message(
-                    self.announce_kind,
-                    node_id,
-                    peer,
-                    item_id,
-                    ANNOUNCE_PAYLOAD_BYTES,
-                )
+        peers = self._network.peers_of(node_id)
+        if not peers:
+            return
+        self.stats.announces_sent += len(peers)
+        self._network.send_many(
+            sized_message(
+                self.announce_kind,
+                node_id,
+                peer,
+                item_id,
+                ANNOUNCE_PAYLOAD_BYTES,
             )
+            for peer in peers
+        )
 
     def _on_announce(self, message: Message) -> None:
         node_id = message.recipient

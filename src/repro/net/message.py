@@ -22,6 +22,11 @@ _message_ids = itertools.count(1)
 class MessageKind(Enum):
     """Wire message taxonomy, used for traffic breakdowns."""
 
+    # Members are singletons with identity equality, so the id-based C
+    # hash is consistent — and dict lookups keyed by kind (router dispatch,
+    # traffic counters) skip ``Enum.__hash__``'s Python-level frame.
+    __hash__ = object.__hash__
+
     # Transaction relay
     TX_ANNOUNCE = "tx_announce"            # inv: txid only
     TX_REQUEST = "tx_request"              # ask a peer for a transaction

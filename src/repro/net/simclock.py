@@ -1,55 +1,56 @@
 """Discrete-event simulation core: virtual clock and event queue.
 
 Everything time-dependent in the library runs on this scheduler.  Events are
-``(time, sequence, callback)`` triples in a binary heap; the sequence number
-makes ordering deterministic when times tie, which keeps every experiment
-bit-reproducible under a fixed seed.
+``[time, sequence, callback, args]`` entries in a binary heap; the sequence
+number makes ordering deterministic when times tie, which keeps every
+experiment bit-reproducible under a fixed seed.
+
+Entries are plain lists rather than objects so ``heapq`` compares them
+entirely in C (``(time, sequence)`` decides before the callback slot is ever
+reached).  Cancellation nulls the callback slot in place, which is why the
+entry must stay mutable.
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
-from dataclasses import dataclass, field
-from typing import Callable
+from heapq import heappop, heappush
+from typing import Any, Callable
 
 from repro.errors import SimulationError
 
-EventCallback = Callable[[], None]
+EventCallback = Callable[..., None]
 
-
-@dataclass(order=True)
-class _ScheduledEvent:
-    time: float
-    sequence: int
-    callback: EventCallback = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
+# Heap-entry slots: [time, sequence, callback-or-None, args].
+_TIME = 0
+_SEQ = 1
+_CALLBACK = 2
+_ARGS = 3
 
 
 class EventHandle:
     """A cancellation handle for a scheduled event."""
 
-    __slots__ = ("_event",)
+    __slots__ = ("_entry",)
 
-    def __init__(self, event: _ScheduledEvent) -> None:
-        self._event = event
+    def __init__(self, entry: list) -> None:
+        self._entry = entry
 
     def cancel(self) -> bool:
         """Cancel the event; returns ``False`` when already run/cancelled."""
-        if self._event.cancelled:
+        if self._entry[_CALLBACK] is None:
             return False
-        self._event.cancelled = True
+        self._entry[_CALLBACK] = None
         return True
 
     @property
     def time(self) -> float:
         """The virtual time the event is (was) scheduled for."""
-        return self._event.time
+        return self._entry[_TIME]
 
     @property
     def cancelled(self) -> bool:
         """Was this event cancelled?"""
-        return self._event.cancelled
+        return self._entry[_CALLBACK] is None
 
 
 class SimClock:
@@ -63,8 +64,8 @@ class SimClock:
 
     def __init__(self, max_events: int = 50_000_000) -> None:
         self._now = 0.0
-        self._heap: list[_ScheduledEvent] = []
-        self._sequence = itertools.count()
+        self._heap: list[list] = []
+        self._next_seq = 0
         self._max_events = max_events
         self._processed = 0
 
@@ -77,7 +78,7 @@ class SimClock:
     @property
     def pending(self) -> int:
         """Number of not-yet-cancelled events still queued."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        return sum(1 for e in self._heap if e[_CALLBACK] is not None)
 
     @property
     def processed(self) -> int:
@@ -85,43 +86,49 @@ class SimClock:
         return self._processed
 
     # ----------------------------------------------------------- scheduling
-    def schedule(self, delay: float, callback: EventCallback) -> EventHandle:
-        """Run ``callback`` at ``now + delay`` virtual seconds.
+    def schedule(
+        self, delay: float, callback: EventCallback, *args: Any
+    ) -> EventHandle:
+        """Run ``callback(*args)`` at ``now + delay`` virtual seconds.
 
         Raises:
             SimulationError: for negative delays.
         """
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past ({delay=})")
-        return self.schedule_at(self._now + delay, callback)
+        return self.schedule_at(self._now + delay, callback, *args)
 
-    def schedule_at(self, time: float, callback: EventCallback) -> EventHandle:
-        """Run ``callback`` at absolute virtual ``time``."""
+    def schedule_at(
+        self, time: float, callback: EventCallback, *args: Any
+    ) -> EventHandle:
+        """Run ``callback(*args)`` at absolute virtual ``time``."""
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule at {time} before now={self._now}"
             )
-        event = _ScheduledEvent(
-            time=time, sequence=next(self._sequence), callback=callback
-        )
-        heapq.heappush(self._heap, event)
-        return EventHandle(event)
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        entry = [time, seq, callback, args]
+        heappush(self._heap, entry)
+        return EventHandle(entry)
 
     # ------------------------------------------------------------ execution
     def step(self) -> bool:
         """Pop and run the next event; ``False`` when the queue is empty."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if event.cancelled:
+        heap = self._heap
+        while heap:
+            entry = heappop(heap)
+            callback = entry[_CALLBACK]
+            if callback is None:
                 continue
-            self._now = event.time
+            self._now = entry[_TIME]
             self._processed += 1
             if self._processed > self._max_events:
                 raise SimulationError(
                     f"event budget exceeded ({self._max_events}); "
                     "likely a protocol feedback loop"
                 )
-            event.callback()
+            callback(*entry[_ARGS])
             return True
         return False
 
@@ -140,12 +147,13 @@ class SimClock:
             raise SimulationError(
                 f"cannot run backwards to {time} from {self._now}"
             )
-        while self._heap:
-            head = self._heap[0]
-            if head.cancelled:
-                heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            head = heap[0]
+            if head[_CALLBACK] is None:
+                heappop(heap)
                 continue
-            if head.time > time:
+            if head[_TIME] > time:
                 break
             self.step()
         self._now = time

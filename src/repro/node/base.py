@@ -56,12 +56,17 @@ class BaseNode:
         )
         self.keypair = KeyPair.from_seed(node_id)
         self._deployment: Deployment | None = None
+        self._note_send: Callable[[Message], None] | None = None
         network.register(node_id, self)
 
     # ------------------------------------------------------------- wiring
     def attach(self, deployment: Deployment) -> None:
         """Install the deployment that interprets this node's messages."""
         self._deployment = deployment
+        # Deployments with a router expose a send hook for instrumentation;
+        # minimal deployments (e.g. test stubs) only implement on_message.
+        # Resolved once here so the hot send path avoids per-message getattr.
+        self._note_send = getattr(deployment, "note_send", None)
 
     def handle_message(self, message: Message) -> None:
         """Network entry point (called by :class:`~repro.net.network.Network`)."""
@@ -80,11 +85,8 @@ class BaseNode:
         message = sized_message(
             kind, self.node_id, recipient, payload, payload_bytes
         )
-        # Deployments with a router expose a send hook for instrumentation;
-        # minimal deployments (e.g. test stubs) only implement on_message.
-        note_send = getattr(self._deployment, "note_send", None)
-        if note_send is not None:
-            note_send(message)
+        if self._note_send is not None:
+            self._note_send(message)
         self.network.send(message)
 
     def broadcast(
@@ -95,10 +97,18 @@ class BaseNode:
         payload_bytes: int,
     ) -> None:
         """Send the same message to every listed recipient (skips self)."""
-        for recipient in recipients:
-            if recipient == self.node_id:
-                continue
-            self.send(kind, recipient, payload, payload_bytes)
+        node_id = self.node_id
+        messages = [
+            sized_message(kind, node_id, recipient, payload, payload_bytes)
+            for recipient in recipients
+            if recipient != node_id
+        ]
+        if not messages:
+            return
+        if self._note_send is not None:
+            for message in messages:
+                self._note_send(message)
+        self.network.send_many(messages)
 
     # -------------------------------------------------------------- queries
     @property

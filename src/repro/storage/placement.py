@@ -13,6 +13,8 @@ protocol relies on.
 
 from __future__ import annotations
 
+import hashlib
+import math
 from abc import ABC, abstractmethod
 from typing import Sequence
 
@@ -65,6 +67,13 @@ class RendezvousPlacement(PlacementPolicy):
     blocks change holders (exactly the blocks the joiner wins).
     """
 
+    #: Soft cap on memoized placements; the cache resets when exceeded so
+    #: long churn simulations cannot grow it without bound.
+    _CACHE_LIMIT = 200_000
+
+    def __init__(self) -> None:
+        self._cache: dict[tuple, tuple[int, ...]] = {}
+
     def holders(
         self,
         header: BlockHeader,
@@ -72,16 +81,29 @@ class RendezvousPlacement(PlacementPolicy):
         replication: int,
     ) -> tuple[int, ...]:
         """See :meth:`PlacementPolicy.holders`."""
+        # Every cluster member recomputes the same placement for the same
+        # block (the protocol's directory-free property), so memoizing on
+        # the full public input is a pure win: placements are deterministic
+        # functions of (block hash, membership, replication).
+        key = (header.block_hash, tuple(members), replication)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
         canonical = self._check(members, replication)
+        block_hash = header.block_hash
         scored = sorted(
             canonical,
             key=lambda member: (
-                _member_block_digest(header.block_hash, member),
+                _member_block_digest(block_hash, member),
                 member,
             ),
             reverse=True,
         )
-        return tuple(sorted(scored[:replication]))
+        result = tuple(sorted(scored[:replication]))
+        if len(self._cache) >= self._CACHE_LIMIT:
+            self._cache.clear()
+        self._cache[key] = result
+        return result
 
 
 class ModuloSlotPlacement(PlacementPolicy):
@@ -157,8 +179,6 @@ class CapacityWeightedPlacement(PlacementPolicy):
         replication: int,
     ) -> tuple[int, ...]:
         """See :meth:`PlacementPolicy.holders`."""
-        import math
-
         canonical = self._check(members, replication)
         block_hash = header.block_hash
         scored: list[tuple[float, int]] = []
@@ -177,11 +197,12 @@ class CapacityWeightedPlacement(PlacementPolicy):
 
 def _member_block_digest(block_hash: bytes, member: int) -> bytes:
     """8-byte mixing of a block hash with a member id (for HRW scoring)."""
-    import hashlib
-
-    return hashlib.sha256(
+    return _sha256(
         block_hash + member.to_bytes(8, "big")
     ).digest()[:8]
+
+
+_sha256 = hashlib.sha256
 
 
 def placement_load(

@@ -1,0 +1,244 @@
+"""Tests for the unified benchmark harness (repro.bench)."""
+
+from __future__ import annotations
+
+import time
+from types import SimpleNamespace
+
+import pytest
+
+from repro.bench import (
+    FULL,
+    PROFILES,
+    QUICK,
+    BenchmarkRunner,
+    BenchWorkload,
+    compare_to_baseline,
+    discover_workloads,
+    simulated_metrics,
+    validate_payload,
+)
+from repro.bench.runner import BenchError
+from repro.bench.schema import dump_payload, load_payload, wall_stats
+
+
+def fake_deployment(now=10.0, messages=100, nbytes=5000, processed=400):
+    """A minimal deployment facade with the metric surface the bench reads."""
+    return SimpleNamespace(
+        network=SimpleNamespace(
+            now=now,
+            traffic=SimpleNamespace(
+                total_messages=messages, total_bytes=nbytes
+            ),
+            clock=SimpleNamespace(processed=processed),
+        ),
+        metrics=SimpleNamespace(
+            router_stats=SimpleNamespace(
+                sends={"block_body": 10},
+                send_bytes={"block_body": 4000},
+                deliveries={"block_body": 9, "header_announce": 50},
+            )
+        ),
+    )
+
+
+def make_workload(bench_id="w1", deployment_factory=fake_deployment):
+    return BenchWorkload(
+        bench_id=bench_id,
+        title="synthetic",
+        run=lambda profile: [("only", deployment_factory())],
+    )
+
+
+class TestProfiles:
+    def test_registry_holds_both(self):
+        assert PROFILES == {"quick": QUICK, "full": FULL}
+
+    def test_pick_routes_on_name(self):
+        assert QUICK.pick(1, 2) == 1
+        assert FULL.pick(1, 2) == 2
+
+
+class TestSimulatedMetrics:
+    def test_reads_clock_traffic_and_router(self):
+        metrics = simulated_metrics(fake_deployment())
+        assert metrics["virtual_seconds"] == 10.0
+        assert metrics["messages"] == 100
+        assert metrics["bytes"] == 5000
+        assert metrics["events_processed"] == 400
+        assert metrics["message_kinds"]["block_body"] == {
+            "sends": 10,
+            "send_bytes": 4000,
+            "deliveries": 9,
+        }
+        # Kinds seen only on delivery still appear, with zero sends.
+        assert metrics["message_kinds"]["header_announce"]["sends"] == 0
+
+
+class TestRunnerProtocol:
+    def test_schema_valid_payload_and_roundtrip(self, tmp_path):
+        runner = BenchmarkRunner([make_workload()], QUICK)
+        payload = runner.run()
+        assert validate_payload(payload) == []
+        path = runner.write(payload, tmp_path)
+        assert path.name.startswith("BENCH_") and path.suffix == ".json"
+        assert load_payload(path) == payload
+
+    def test_repetitions_are_all_recorded(self):
+        payload = BenchmarkRunner([make_workload()], QUICK).run()
+        samples = payload["benchmarks"]["w1"]["wall_seconds"]["samples"]
+        assert len(samples) == QUICK.repetitions
+        assert payload["benchmarks"]["w1"]["peak_rss_kb"] > 0
+
+    def test_nondeterministic_workload_is_rejected(self):
+        counter = iter(range(100))
+
+        def drifting(profile):
+            return [("only", fake_deployment(messages=next(counter)))]
+
+        workload = BenchWorkload(bench_id="bad", title="", run=drifting)
+        with pytest.raises(BenchError, match="not\\s+deterministic"):
+            BenchmarkRunner([workload], QUICK).run()
+
+    def test_empty_workload_list_is_rejected(self):
+        with pytest.raises(BenchError):
+            BenchmarkRunner([], QUICK)
+
+
+class TestDiscovery:
+    def test_all_seventeen_experiments_discovered(self):
+        workloads = discover_workloads()
+        assert [w.bench_id for w in workloads] == [
+            f"e{i}" for i in range(1, 18)
+        ]
+
+    def test_quick_profile_fits_its_time_budget(self, tmp_path):
+        start = time.perf_counter()
+        runner = BenchmarkRunner(discover_workloads(), QUICK)
+        payload = runner.run()
+        elapsed = time.perf_counter() - start
+        assert elapsed < QUICK.time_budget_seconds
+        assert validate_payload(payload) == []
+        assert len(payload["benchmarks"]) == 17
+
+    def test_seed_determinism_across_independent_runs(self):
+        workloads = [
+            w for w in discover_workloads() if w.bench_id in ("e8", "e17")
+        ]
+        first = BenchmarkRunner(workloads, QUICK).run()
+        second = BenchmarkRunner(workloads, QUICK).run()
+        for bench_id in ("e8", "e17"):
+            assert (
+                first["benchmarks"][bench_id]["simulated"]
+                == second["benchmarks"][bench_id]["simulated"]
+            )
+
+
+def payload_with(bench_seconds, calibration=1.0, profile="quick", sim=None):
+    benchmarks = {}
+    for bench_id, seconds in bench_seconds.items():
+        benchmarks[bench_id] = {
+            "title": bench_id,
+            "wall_seconds": wall_stats([seconds]),
+            "peak_rss_kb": 1,
+            "simulated": sim if sim is not None else {},
+        }
+    return {
+        "schema": "repro-bench",
+        "schema_version": 1,
+        "profile": profile,
+        "calibration": {"wall_seconds": calibration},
+        "benchmarks": benchmarks,
+    }
+
+
+class TestBaselineComparison:
+    def test_within_tolerance_passes(self):
+        base = payload_with({"e1": 1.0})
+        cand = payload_with({"e1": 1.2})
+        comparison = compare_to_baseline(cand, base, tolerance=0.25)
+        assert comparison.passed
+        assert comparison.deltas[0].ratio == pytest.approx(1.2)
+
+    def test_regression_fails(self):
+        base = payload_with({"e1": 1.0})
+        cand = payload_with({"e1": 1.3})
+        comparison = compare_to_baseline(cand, base, tolerance=0.25)
+        assert not comparison.passed
+        assert [d.bench_id for d in comparison.regressions] == ["e1"]
+
+    def test_calibration_normalizes_machine_speed(self):
+        # Candidate machine is 2x slower (calibration 2.0 vs 1.0), so a
+        # raw 1.8s is really 0.9s on the baseline machine: a speedup.
+        base = payload_with({"e1": 1.0}, calibration=1.0)
+        cand = payload_with({"e1": 1.8}, calibration=2.0)
+        comparison = compare_to_baseline(cand, base, tolerance=0.25)
+        assert comparison.passed
+        assert comparison.deltas[0].ratio == pytest.approx(0.9)
+
+    def test_simulated_drift_fails_even_when_fast(self):
+        base = payload_with(
+            {"e1": 1.0}, sim={"only": {"virtual_seconds": 1.0}}
+        )
+        cand = payload_with(
+            {"e1": 0.5}, sim={"only": {"virtual_seconds": 2.0}}
+        )
+        comparison = compare_to_baseline(cand, base)
+        assert not comparison.passed
+        assert "virtual_seconds" in comparison.simulated_drift[0]
+
+    def test_bench_set_differences_are_notes_not_failures(self):
+        base = payload_with({"e1": 1.0, "gone": 1.0})
+        cand = payload_with({"e1": 1.0, "new": 1.0})
+        comparison = compare_to_baseline(cand, base)
+        assert comparison.passed
+        assert comparison.missing_benches == ["gone"]
+        assert comparison.new_benches == ["new"]
+
+    def test_profile_mismatch_is_refused(self):
+        base = payload_with({"e1": 1.0}, profile="full")
+        cand = payload_with({"e1": 1.0}, profile="quick")
+        with pytest.raises(ValueError, match="profile"):
+            compare_to_baseline(cand, base)
+
+
+class TestSchemaValidation:
+    def test_rejects_wrong_schema_name(self):
+        payload = payload_with({"e1": 1.0})
+        payload["schema"] = "other"
+        assert validate_payload(payload)
+
+    def test_rejects_newer_version(self):
+        payload = payload_with({"e1": 1.0})
+        payload["schema_version"] = 99
+        assert any("newer" in e for e in validate_payload(payload))
+
+    def test_rejects_missing_wall_samples(self):
+        payload = payload_with({"e1": 1.0})
+        payload["benchmarks"]["e1"]["wall_seconds"]["samples"] = []
+        assert validate_payload(payload)
+
+    def test_load_raises_on_invalid_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        dump_payload({"schema": "other"}, path)
+        with pytest.raises(ValueError):
+            load_payload(path)
+
+    def test_committed_baseline_is_valid(self):
+        from pathlib import Path
+
+        baseline = load_payload(
+            Path(__file__).resolve().parents[1]
+            / "benchmarks"
+            / "baseline.json"
+        )
+        assert baseline["profile"] == "quick"
+        assert len(baseline["benchmarks"]) == 17
+        # The baseline carries the optimization provenance the repo's
+        # performance trajectory documentation points at.
+        speedups = [
+            kernel["speedup"]
+            for entry in baseline["optimizations"]
+            for kernel in entry["kernels"].values()
+        ]
+        assert speedups and min(speedups) >= 1.5

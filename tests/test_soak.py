@@ -8,6 +8,8 @@ under failure — then asserts the global invariants one last time.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.core.config import ICIConfig
@@ -15,13 +17,17 @@ from repro.core.icistrategy import ICIDeployment
 from repro.sim.runner import ScenarioRunner
 from tests.conftest import TEST_LIMITS
 
+#: Population multiplier for CI soak runs (block counts stay fixed so the
+#: height/reorg assertions hold at any scale).
+SOAK_SCALE = max(1, int(os.environ.get("SOAK_SCALE", "1")))
+
 
 @pytest.fixture(scope="module")
 def soaked():
     deployment = ICIDeployment(
-        24,
+        24 * SOAK_SCALE,
         config=ICIConfig(
-            n_clusters=3,
+            n_clusters=3 * SOAK_SCALE,
             replication=1,
             parity_group_size=3,
             compact_blocks=True,
