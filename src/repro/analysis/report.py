@@ -250,6 +250,89 @@ def render_bench_summary(payload: dict, comparison=None) -> str:
     return "\n".join(lines) + "\n"
 
 
+def render_chaos_summary(outcome) -> str:
+    """Markdown post-mortem of one :func:`repro.sim.chaos.run_chaos`."""
+    config = outcome.config
+    verdict = "restored" if outcome.integrity_restored else "VIOLATED"
+    lines = [
+        f"# Chaos run (seed {config.seed})",
+        "",
+        f"- nodes: {config.n_nodes} in {config.n_clusters} clusters, "
+        f"r={config.replication}",
+        f"- fault rates: drop {config.drop_rate:.0%}, "
+        f"duplicate {config.duplicate_rate:.0%}, "
+        f"delay {config.delay_rate:.0%} (+{config.delay_seconds:g}s)",
+        "- outages: "
+        f"crashed {outcome.crashed or 'none'}, "
+        f"stalled {outcome.stalled or 'none'}, "
+        f"partitioned {outcome.partitioned or 'none'}",
+        f"- blocks: {outcome.blocks_produced} produced, "
+        f"{outcome.finalized_blocks} finalized everywhere",
+        f"- virtual time: {outcome.virtual_seconds:.1f}s over "
+        f"{outcome.events_processed} events",
+        f"- **cluster integrity: {verdict}** "
+        f"({sum(outcome.cluster_integrity.values())}"
+        f"/{len(outcome.cluster_integrity)} clusters hold the full ledger)",
+        "",
+        "## Fault interception",
+        "",
+        _md_table(
+            ["fault", "count"],
+            sorted(outcome.fault_stats.items()),
+        ),
+        "",
+        "## Protocol recovery",
+        "",
+    ]
+    kinds = sorted(
+        set(outcome.retries) | set(outcome.timeouts) | set(outcome.degraded)
+    )
+    lines.append(
+        _md_table(
+            ["message kind", "retries", "timeouts", "degraded"],
+            [
+                (
+                    kind,
+                    outcome.retries.get(kind, 0),
+                    outcome.timeouts.get(kind, 0),
+                    outcome.degraded.get(kind, 0),
+                )
+                for kind in kinds
+            ]
+            or [("(none)", 0, 0, 0)],
+        )
+    )
+    lines += [
+        "",
+        "## Exercised under faults",
+        "",
+        _md_table(
+            ["probe", "result"],
+            [
+                (
+                    "queries",
+                    f"{outcome.queries_completed}/{outcome.queries_attempted}"
+                    f" completed, {outcome.queries_degraded} degraded",
+                ),
+                (
+                    "join bootstrap",
+                    "skipped"
+                    if outcome.bootstrap_complete is None
+                    else (
+                        "complete"
+                        if outcome.bootstrap_complete
+                        else "incomplete"
+                    )
+                    + f" ({outcome.bootstrap_bodies_unavailable}"
+                    " bodies unavailable)",
+                ),
+                ("bodies refetched at heal", outcome.refetched_bodies),
+            ],
+        ),
+    ]
+    return "\n".join(lines) + "\n"
+
+
 def _section_events(deployment) -> str:
     metrics = deployment.metrics
     rows = []

@@ -149,6 +149,61 @@ def build_parser() -> argparse.ArgumentParser:
         dest="list_workloads",
         help="list discovered workloads and exit",
     )
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="seeded fault-injection run: drops, crashes, heal, audit",
+    )
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--nodes", type=int, default=16)
+    chaos.add_argument(
+        "--groups", type=int, default=4, help="clusters / committees"
+    )
+    chaos.add_argument(
+        "--replication", type=int, default=2, help="replicas per block"
+    )
+    chaos.add_argument("--blocks", type=int, default=8)
+    chaos.add_argument("--txs", type=int, default=2, help="txs per block")
+    chaos.add_argument(
+        "--drop-rate",
+        type=float,
+        default=0.2,
+        help="fraction of messages dropped (default 0.2)",
+    )
+    chaos.add_argument(
+        "--duplicate-rate",
+        type=float,
+        default=0.05,
+        help="fraction of messages delivered twice (default 0.05)",
+    )
+    chaos.add_argument(
+        "--delay-rate",
+        type=float,
+        default=0.05,
+        help="fraction of messages hit by a delay spike (default 0.05)",
+    )
+    chaos.add_argument(
+        "--crash-count",
+        type=int,
+        default=1,
+        help="nodes crashed mid-run and later recovered (default 1)",
+    )
+    chaos.add_argument(
+        "--stall-count",
+        type=int,
+        default=0,
+        help="nodes stalled (unresponsive but up) mid-run (default 0)",
+    )
+    chaos.add_argument(
+        "--partition",
+        action="store_true",
+        help="also cut a minority partition mid-run",
+    )
+    chaos.add_argument(
+        "--report",
+        metavar="FILE",
+        help="write the markdown summary to FILE as well as stdout",
+    )
     return parser
 
 
@@ -399,6 +454,35 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """``chaos``: one seeded fault-injection run with a markdown audit."""
+    from repro.analysis.report import render_chaos_summary
+    from repro.sim.chaos import ChaosConfig, run_chaos
+
+    config = ChaosConfig(
+        seed=args.seed,
+        n_nodes=args.nodes,
+        n_clusters=args.groups,
+        replication=args.replication,
+        n_blocks=args.blocks,
+        txs_per_block=args.txs,
+        drop_rate=args.drop_rate,
+        duplicate_rate=args.duplicate_rate,
+        delay_rate=args.delay_rate,
+        crash_count=args.crash_count,
+        stall_count=args.stall_count,
+        partition=args.partition,
+    )
+    outcome = run_chaos(config)
+    summary = render_chaos_summary(outcome)
+    print(summary, end="")
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            handle.write(summary)
+        print(f"\nreport written to {args.report}", file=sys.stderr)
+    return 0 if outcome.integrity_restored else 1
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -408,6 +492,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "join": cmd_join,
         "experiments": cmd_experiments,
         "bench": cmd_bench,
+        "chaos": cmd_chaos,
     }
     return handlers[args.command](args)
 

@@ -88,6 +88,8 @@ def start_bootstrap(deployment: "ICIDeployment") -> BootstrapReport:
         ("headers",),
         64,
     )
+    # No-op on clean networks; under faults, a probe chain guards the join.
+    deployment.sync.watch_bootstrap(new_id)
     return report
 
 
@@ -98,6 +100,9 @@ def continue_bootstrap_with_headers(
     snapshot: bytes = b"",
 ) -> None:
     """Phase 2: the joiner indexed every header; plan its body downloads."""
+    if state.headers_received:
+        return  # duplicate/retried SYNC_HEADERS under faults
+    state.headers_received = True
     node = deployment.nodes[state.report.node_id]
     assert isinstance(node, ClusterNode)
     for header in headers:
@@ -128,6 +133,12 @@ def continue_bootstrap_with_headers(
             continue
         source = _pick_online_holder(deployment, old_holders)
         if source is None:
+            if deployment.network.faults is not None:
+                # Fault-layer run: degrade (the sync probe may still
+                # refetch it from a recovered replica) instead of
+                # aborting the whole join.
+                state.report.bodies_unavailable.append(header.block_hash)
+                continue
             raise BootstrapError(
                 f"no online holder for block "
                 f"{header.block_hash.hex()[:12]}… during join"
@@ -160,6 +171,10 @@ def continue_bootstrap_with_bodies(
     assert isinstance(node, ClusterNode)
     delivered: set[Hash32] = set()
     for block in blocks:
+        if block.block_hash not in state.expected_bodies:
+            # Duplicate/late delivery (fault-layer retries re-request
+            # batches); the first copy already counted.
+            continue
         node.assign_body(block)
         node.finalize(block.block_hash)
         delivered.add(block.block_hash)
@@ -256,19 +271,23 @@ def _apply_peer_migration(
 def _pick_contact(
     deployment: "ICIDeployment", members: tuple[int, ...]
 ) -> int:
-    for member in members:
-        if deployment.network.is_online(member):
-            return member
+    # The fault layer's liveness view: identical to the online filter on
+    # clean networks, but also skips stalled (unresponsive) peers.
+    from repro.sim.faults import live_members
+
+    live = live_members(deployment.network, members)
+    if live:
+        return live[0]
     raise BootstrapError("target cluster has no online contact")
 
 
 def _pick_online_holder(
     deployment: "ICIDeployment", holders: tuple[int, ...]
 ) -> int | None:
-    for holder in holders:
-        if deployment.network.is_online(holder):
-            return holder
-    return None
+    from repro.sim.faults import live_members
+
+    live = live_members(deployment.network, holders)
+    return live[0] if live else None
 
 
 def _extend_coordinates(

@@ -253,12 +253,17 @@ def _pick_source(
     old_holders: tuple[int, ...],
     leaving: int,
 ) -> int | None:
-    """An online holder to copy from; survivors first, leaver last."""
+    """A live holder to copy from; survivors first, leaver last.
+
+    Uses the fault layer's liveness view, so a stalled survivor is never
+    chosen as a repair source (identical to the online check on clean
+    networks).
+    """
+    from repro.sim.faults import live_members
+
     survivors = [h for h in old_holders if h != leaving]
-    for holder in survivors + [leaving]:
-        if deployment.network.is_online(holder):
-            return holder
-    return None
+    live = live_members(deployment.network, survivors + [leaving])
+    return live[0] if live else None
 
 
 def _remove_member(deployment: "ICIDeployment", node_id: int) -> None:

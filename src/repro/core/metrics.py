@@ -31,6 +31,10 @@ class QueryRecord:
     started_at: float
     completed_at: float | None = None
     attempts: int = 1
+    timeouts: int = 0
+    failovers: int = 0
+    #: Every replica exhausted without an answer (fault-layer runs).
+    degraded: bool = False
 
     @property
     def latency(self) -> float | None:
@@ -113,6 +117,12 @@ class RouterStats:
     send_bytes: dict[str, int] = field(default_factory=dict)
     deliveries: dict[str, int] = field(default_factory=dict)
     finalize_events: int = 0
+    # Reliability-layer counters (per kind).  Deliberately NOT part of
+    # the bench harness's simulated-metrics capture: they are additive
+    # bookkeeping, so growing them cannot drift the committed baseline.
+    retries: dict[str, int] = field(default_factory=dict)
+    timeouts: dict[str, int] = field(default_factory=dict)
+    degraded: dict[str, int] = field(default_factory=dict)
 
     @property
     def total_sends(self) -> int:
@@ -123,6 +133,21 @@ class RouterStats:
     def total_deliveries(self) -> int:
         """Messages dispatched to a handler, all kinds."""
         return sum(self.deliveries.values())
+
+    @property
+    def total_retries(self) -> int:
+        """Retry sends across every protocol, all kinds."""
+        return sum(self.retries.values())
+
+    @property
+    def total_timeouts(self) -> int:
+        """Request deadlines that fired on still-pending requests."""
+        return sum(self.timeouts.values())
+
+    @property
+    def total_degraded(self) -> int:
+        """Requests that exhausted every replica without an answer."""
+        return sum(self.degraded.values())
 
 
 @dataclass
@@ -245,6 +270,21 @@ class MetricsRecorder:
         stats = self._metrics.router_stats
         kind = self._value_of(message.kind)
         stats.deliveries[kind] = stats.deliveries.get(kind, 0) + 1
+
+    def on_retry(self, kind: str) -> None:
+        """Count one reliability-layer retry send by kind."""
+        retries = self._metrics.router_stats.retries
+        retries[kind] = retries.get(kind, 0) + 1
+
+    def on_timeout(self, kind: str) -> None:
+        """Count one request deadline that fired while still pending."""
+        timeouts = self._metrics.router_stats.timeouts
+        timeouts[kind] = timeouts.get(kind, 0) + 1
+
+    def on_degraded(self, kind: str) -> None:
+        """Count one request that exhausted every replica."""
+        degraded = self._metrics.router_stats.degraded
+        degraded[kind] = degraded.get(kind, 0) + 1
 
     def on_finalize(self, event: "FinalizeEvent") -> None:
         """Fold a finalization into the node/cluster timing tables."""

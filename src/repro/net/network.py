@@ -10,7 +10,7 @@ drive.
 
 from __future__ import annotations
 
-from typing import Iterable, Protocol
+from typing import TYPE_CHECKING, Iterable, Protocol
 
 from repro.errors import UnknownNodeError
 from repro.net.latency import DEFAULT_BANDWIDTH_BPS, ConstantLatency, LatencyModel
@@ -18,6 +18,9 @@ from repro.net.message import Message
 from repro.net.simclock import SimClock
 from repro.net.topology import Topology
 from repro.net.traffic import TrafficLedger
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.faults import FaultInjector
 
 
 class Endpoint(Protocol):
@@ -55,6 +58,7 @@ class Network:
             dict(topology) if topology else {}
         )
         self._dropped_messages = 0
+        self._faults: "FaultInjector" | None = None
 
     # ------------------------------------------------------------- registry
     def register(self, node_id: int, endpoint: Endpoint) -> None:
@@ -89,6 +93,21 @@ class Network:
         """Messages lost to offline senders/recipients."""
         return self._dropped_messages
 
+    # -------------------------------------------------------------- faults
+    @property
+    def faults(self) -> "FaultInjector" | None:
+        """The attached fault injector, or ``None`` for a clean network."""
+        return self._faults
+
+    def attach_faults(self, injector: "FaultInjector" | None) -> None:
+        """Install (or, with ``None``, remove) a fault injector.
+
+        With no injector attached the delivery path is exactly the
+        original code — the fault branch in :meth:`send` never runs, so
+        fault-free simulated metrics stay byte-identical.
+        """
+        self._faults = injector
+
     # ------------------------------------------------------------- liveness
     def is_online(self, node_id: int) -> bool:
         """Is the node currently reachable?"""
@@ -120,6 +139,14 @@ class Network:
             message.size_bytes,
             self.bandwidth_bps,
         )
+        if self._faults is not None:
+            copies, extra_delay = self._faults.intercept(message, self.clock.now)
+            if copies == 0:
+                self._dropped_messages += 1
+                return
+            for _ in range(copies):
+                self.clock.schedule(delay + extra_delay, self._deliver, message)
+            return
         self.clock.schedule(delay, self._deliver, message)
 
     def send_many(self, messages: Iterable[Message]) -> None:
@@ -130,7 +157,14 @@ class Network:
         per-message lookups are hoisted out of the loop — the fan-out paths
         (gossip announce, cluster broadcast) are the simulator's hottest
         send sites.
+
+        With a fault injector attached the batch falls back to per-message
+        :meth:`send` so every message gets its own fault decision.
         """
+        if self._faults is not None:
+            for message in messages:
+                self.send(message)
+            return
         online = self._online
         total_delay = self.latency.total_delay
         schedule = self.clock.schedule

@@ -22,6 +22,7 @@ from repro.net.message import Message, MessageKind
 from repro.net.gossip import GossipProtocol
 from repro.node.base import BaseNode
 from repro.node.clusternode import ClusterNode
+from repro.protocols.reliability import PROBE_RETRY_POLICY
 from repro.protocols.router import MessageRouter, ProtocolEngine
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -109,6 +110,13 @@ class DisseminationEngine(ProtocolEngine):
             else:
                 # Ablation: primary fans the body out to every member.
                 self.send_body(proposer, holders[0], block, fan_out=True)
+            if self.network.faults is not None:
+                # Under faults, watch each assigned holder until its body
+                # lands; the probe re-sends from a surviving replica.
+                for holder in holders:
+                    self._schedule_body_probe(
+                        block, view.cluster_id, holder, 1
+                    )
 
     def _canonical_accept(self, block: Block) -> bool:
         from repro.chain.validation import check_block_stateless
@@ -199,6 +207,69 @@ class DisseminationEngine(ProtocolEngine):
             (tag, block),
             block.size_bytes,
         )
+
+    # ------------------------------------------------- fault-layer probes
+    def _schedule_body_probe(
+        self, block: Block, cluster_id: int, holder: int, attempt: int
+    ) -> None:
+        self.network.clock.schedule(
+            PROBE_RETRY_POLICY.timeout_for(attempt),
+            self._probe_body,
+            block,
+            cluster_id,
+            holder,
+            attempt,
+        )
+
+    def _probe_body(
+        self, block: Block, cluster_id: int, holder: int, attempt: int
+    ) -> None:
+        """Re-deliver an assigned body that never validated at its holder.
+
+        Fires only on fault-injected networks.  The re-send comes from a
+        *live* replica — preferring in-cluster members that already hold
+        the body, exactly the alternate-peer failover the storage claim
+        needs — and backs off per :data:`PROBE_RETRY_POLICY` until the
+        holder validates, departs, or the attempts cap degrades the
+        delivery.
+        """
+        faults = self.network.faults
+        if faults is None:
+            return
+        deployment = self.deployment
+        block_hash = block.block_hash
+        if self.validated_bodies.get((holder, block_hash)):
+            return  # delivered and validated; probe chain ends
+        if holder not in deployment.nodes:
+            return  # departed mid-probe
+        if holder not in deployment.clusters.members_of(cluster_id):
+            return  # re-clustered away; placement will reassign
+        if attempt > PROBE_RETRY_POLICY.probe_attempts:
+            self.router.note_degraded("block_body")
+            return
+        self.router.note_timeout("block_body")
+        if faults.is_live(holder):
+            source = self._probe_source(block_hash, cluster_id, holder)
+            if source is not None:
+                self.router.note_retry("block_body")
+                self.send_body(deployment.nodes[source], holder, block)
+        self._schedule_body_probe(block, cluster_id, holder, attempt + 1)
+
+    def _probe_source(
+        self, block_hash: Hash32, cluster_id: int, holder: int
+    ) -> int | None:
+        """A live node holding the body: cluster-mates first, then anyone."""
+        deployment = self.deployment
+        faults = self.network.faults
+        in_cluster = deployment.clusters.members_of(cluster_id)
+        for candidates in (in_cluster, sorted(deployment.nodes)):
+            for member in candidates:
+                if member == holder or not faults.is_live(member):
+                    continue
+                node = deployment.nodes.get(member)
+                if node is not None and node.store.has_body(block_hash):
+                    return member
+        return None
 
     # ------------------------------------------------------------ messages
     def _on_block_body(self, node: BaseNode, message: Message) -> None:

@@ -22,6 +22,7 @@ from repro.crypto.hashing import Hash32
 from repro.net.message import Message, MessageKind
 from repro.node.base import BaseNode
 from repro.node.clusternode import ClusterNode
+from repro.protocols.reliability import PROBE_RETRY_POLICY
 from repro.protocols.router import (
     FinalizeEvent,
     MessageRouter,
@@ -45,6 +46,9 @@ class IntraClusterEngine(ProtocolEngine):
             tuple[int, Hash32], list[CommitVote]
         ] = {}
         self.result_sent: set[tuple[int, Hash32]] = set()
+        # (node, block) pairs with a finality probe in flight — only
+        # populated when a fault injector is installed.
+        self.probed: set[tuple[int, Hash32]] = set()
 
     def install(self, router: MessageRouter) -> None:
         router.register(
@@ -86,7 +90,131 @@ class IntraClusterEngine(ProtocolEngine):
         deployment = self.deployment
         members = deployment.clusters.members_of(node.cluster_id)
         holders = deployment.holders_in_cluster(header, node.cluster_id)
-        return node.round_for(header, members, holders)
+        round_ = node.round_for(header, members, holders)
+        if (
+            self.network.faults is not None
+            and deployment.config.verify_collaboratively
+            and not node.is_finalized(header.block_hash)
+        ):
+            self._watch_finality(node, header.block_hash)
+        return round_
+
+    # -------------------------------------------- fault-recovery probes
+    def _watch_finality(self, node: ClusterNode, block_hash: Hash32) -> None:
+        """Under faults, watch a member's round until it finalizes.
+
+        One probe chain per (member, block): each firing re-kicks the
+        round if it is still stuck (dropped prepare/commit/result), with
+        :data:`PROBE_RETRY_POLICY` pacing.  Never scheduled on clean
+        networks, so fault-free event sequences are untouched.
+        """
+        key = (node.node_id, block_hash)
+        if key in self.probed:
+            return
+        self.probed.add(key)
+        self.network.clock.schedule(
+            PROBE_RETRY_POLICY.timeout_for(1),
+            self._probe_finality,
+            node.node_id,
+            block_hash,
+            1,
+        )
+
+    def _probe_finality(
+        self, node_id: int, block_hash: Hash32, attempt: int
+    ) -> None:
+        faults = self.network.faults
+        deployment = self.deployment
+        node = deployment.nodes.get(node_id)
+        if (
+            faults is None
+            or node is None
+            or node.is_finalized(block_hash)
+            or deployment.byzantine.get(node_id) == "silent"
+        ):
+            self.probed.discard((node_id, block_hash))
+            return
+        if attempt > PROBE_RETRY_POLICY.probe_attempts:
+            self.probed.discard((node_id, block_hash))
+            self.router.note_degraded("verify_result")
+            return
+        self.router.note_timeout("verify_result")
+        if faults.is_live(node_id) and node.store.has_header(block_hash):
+            self._nudge(node, node.store.header(block_hash))
+        self.network.clock.schedule(
+            PROBE_RETRY_POLICY.timeout_for(attempt + 1),
+            self._probe_finality,
+            node_id,
+            block_hash,
+            attempt + 1,
+        )
+
+    def _nudge(self, node: ClusterNode, header: BlockHeader) -> None:
+        """Re-kick one stuck round; every path is duplicate-safe."""
+        deployment = self.deployment
+        block_hash = header.block_hash
+        # A decided aggregator replays its certificate to the straggler.
+        if deployment.config.aggregate_votes:
+            aggregator = deployment.aggregator_for(header, node.cluster_id)
+            agg_node = deployment.nodes.get(aggregator)
+            if (
+                agg_node is not None
+                and aggregator != node.node_id
+                and (aggregator, block_hash) in self.result_sent
+            ):
+                self.router.note_retry("verify_result")
+                self._resend_result(agg_node, header, node.node_id)
+                return
+        round_ = self.ensure_round(node, header)
+        # Our commit may have been dropped en route: re-dispatch it
+        # (receivers' tallies dedupe by member).
+        if round_.sent_commit and not round_.decided:
+            commit = CommitVote.create(
+                node.keypair, block_hash, node.node_id, round_.my_commit_vote
+            )
+            self.router.note_retry("verify_commit")
+            self._dispatch_commit(node, header, commit)
+            return
+        # Still awaiting prepares: a holder re-broadcasts its attestation
+        # (receivers keep the first verdict per holder).
+        holders = deployment.holders_in_cluster(header, node.cluster_id)
+        if node.node_id in holders and node.store.has_body(block_hash):
+            vote = (
+                Vote.ACCEPT
+                if deployment.dissemination.block_valid.get(block_hash, False)
+                else Vote.REJECT
+            )
+            if deployment.byzantine.get(node.node_id) == "vote_reject":
+                vote = Vote.REJECT
+            self.router.note_retry("verify_prepare")
+            self._broadcast_prepare(node, block_hash, vote)
+
+    def _resend_result(
+        self, aggregator: ClusterNode, header: BlockHeader, member: int
+    ) -> None:
+        """Directed replay of an already-broadcast quorum certificate."""
+        block_hash = header.block_hash
+        verdict = (
+            Vote.REJECT
+            if block_hash in self.metrics.blocks_rejected
+            else Vote.ACCEPT
+        )
+        matching = tuple(
+            c
+            for c in self.collected_commits.get(
+                (aggregator.node_id, block_hash), []
+            )
+            if c.vote == verdict
+        )
+        certificate = QuorumCertificate(
+            block_hash=block_hash, vote=verdict, commits=matching
+        )
+        aggregator.send(
+            MessageKind.VERIFY_RESULT,
+            member,
+            certificate,
+            certificate.wire_bytes,
+        )
 
     def replay_pending(self, node: ClusterNode, block_hash: Hash32) -> None:
         """Re-apply votes that raced ahead of the block's header."""
@@ -220,9 +348,13 @@ class IntraClusterEngine(ProtocolEngine):
             return
         header = node.store.header(block_hash)
         round_ = self.ensure_round(node, header)
-        self.collected_commits.setdefault(
+        commits = self.collected_commits.setdefault(
             (node.node_id, block_hash), []
-        ).append(commit)
+        )
+        # One entry per member: retried/duplicated commits must not
+        # inflate the quorum certificate.
+        if all(existing.member != commit.member for existing in commits):
+            commits.append(commit)
         decided = round_.on_commit(
             commit.member, commit.vote, now=self.network.now
         )

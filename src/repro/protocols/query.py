@@ -18,6 +18,12 @@ from repro.crypto.hashing import Hash32
 from repro.net.message import Message, MessageKind
 from repro.node.base import BaseNode
 from repro.node.clusternode import ClusterNode
+from repro.protocols.reliability import (
+    DEFAULT_RETRY_POLICY,
+    PendingRequest,
+    RequestTracker,
+    RetryPolicy,
+)
 from repro.protocols.router import MessageRouter, ProtocolEngine
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -31,7 +37,13 @@ SYNC_REQUEST_BYTES = 64
 
 
 class QueryEngine(ProtocolEngine):
-    """Block-body retrieval with retries, plus SPV proof serving."""
+    """Block-body retrieval with retries, plus SPV proof serving.
+
+    Retry pacing lives in a :class:`RequestTracker` whose default policy
+    reproduces the engine's historical fixed-timeout behaviour (every
+    in-cluster holder tried twice, :data:`QUERY_TIMEOUT` apart); chaos
+    scenarios install a backoff policy via :meth:`set_retry_policy`.
+    """
 
     name = "query"
 
@@ -40,12 +52,28 @@ class QueryEngine(ProtocolEngine):
         self.queries: dict[int, QueryRecord] = {}
         self.query_plan: dict[int, list[int]] = {}
         self.next_request_id = 0
+        self.tracker = RequestTracker(
+            deployment.network.clock,
+            policy=DEFAULT_RETRY_POLICY,
+            on_retry=lambda request: self.router.note_retry("block_request"),
+            on_timeout=lambda request: self.router.note_timeout(
+                "block_request"
+            ),
+            on_degraded=lambda request: self.router.note_degraded(
+                "block_request"
+            ),
+        )
+
         # SPV light-client service state.
         self.light_clients: dict[int, "LightNode"] = {}
         self.light_contacts: dict[int, int] = {}
         self.spv_records: dict[int, "SpvRecord"] = {}
         self.next_spv_id = 0
         self.spv_log: list["SpvRecord"] = []
+
+    def set_retry_policy(self, policy: RetryPolicy) -> None:
+        """Swap the retry pacing (existing pending requests keep theirs)."""
+        self.tracker.policy = policy
 
     def install(self, router: MessageRouter) -> None:
         router.register(
@@ -83,6 +111,18 @@ class QueryEngine(ProtocolEngine):
             )
             if holder != requester_id
         ]
+        if self.network.faults is not None:
+            # Under faults an assigned holder may itself have lost the
+            # body; extend the failover plan with up to two out-of-cluster
+            # peers that verifiably hold it, so the tracker can cross the
+            # cluster boundary after the local replicas are exhausted.
+            holders = holders + [
+                other
+                for other in sorted(deployment.nodes)
+                if other != requester_id
+                and other not in holders
+                and deployment.nodes[other].store.has_body(block_hash)
+            ][:2]
         if not holders:
             # Degenerate single-member cluster: cross-cluster fallback.
             holders = [
@@ -92,44 +132,55 @@ class QueryEngine(ProtocolEngine):
                 and deployment.nodes[other].store.has_body(block_hash)
             ][:1]
         if not holders:
-            return record  # unresolvable; stays incomplete
+            # Unresolvable; stays incomplete.  The empty-plan begin only
+            # records the degraded result (no events scheduled).
+            self.tracker.begin(
+                record.request_id,
+                [],
+                send=lambda target, request: None,
+                on_degraded=lambda request: self._mark_degraded(
+                    record, request
+                ),
+            )
+            return record
         self.query_plan[record.request_id] = holders
-        self._attempt(record.request_id)
+        self.tracker.begin(
+            record.request_id,
+            holders,
+            send=lambda target, request: self._send_attempt(
+                record, request, target
+            ),
+            on_degraded=lambda request: self._mark_degraded(record, request),
+        )
         return record
 
-    def _attempt(self, request_id: int) -> None:
-        record = self.queries.get(request_id)
-        if record is None or record.completed_at is not None:
-            return
-        plan = self.query_plan.get(request_id, [])
-        if record.attempts > 2 * len(plan):
-            return  # give up: every holder tried twice
-        target = plan[(record.attempts - 1) % len(plan)]
+    def _send_attempt(
+        self, record: QueryRecord, request: PendingRequest, target: int
+    ) -> None:
+        self._mirror(record, request)
         requester = self.deployment.nodes[record.requester]
         requester.send(
             MessageKind.BLOCK_REQUEST,
             target,
-            (request_id, record.block_hash),
+            (record.request_id, record.block_hash),
             SYNC_REQUEST_BYTES,
         )
-        self.network.clock.schedule(
-            QUERY_TIMEOUT, lambda: self._on_timeout(request_id)
-        )
 
-    def _on_timeout(self, request_id: int) -> None:
-        record = self.queries.get(request_id)
-        if record is None or record.completed_at is not None:
-            return
-        record.attempts += 1
-        self._attempt(request_id)
+    def _mirror(self, record: QueryRecord, request: PendingRequest) -> None:
+        record.attempts = request.attempts
+        record.timeouts = request.timeouts
+        record.failovers = request.failovers
+
+    def _mark_degraded(
+        self, record: QueryRecord, request: PendingRequest
+    ) -> None:
+        """All replicas exhausted: the record carries the degraded verdict."""
+        self._mirror(record, request)
+        record.degraded = True
 
     def on_miss(self, request_id: int) -> None:
         """A holder answered "miss": advance to the next holder now."""
-        record = self.queries.get(request_id)
-        if record is None or record.completed_at is not None:
-            return
-        record.attempts += 1
-        self._attempt(request_id)
+        self.tracker.advance(request_id)
 
     def _on_block_request(self, node: BaseNode, message: Message) -> None:
         assert isinstance(node, ClusterNode)
@@ -158,6 +209,19 @@ class QueryEngine(ProtocolEngine):
         if record is None or record.completed_at is not None:
             return
         record.completed_at = self.network.now
+        self.tracker.resolve(request_id)
+        if self.network.faults is None:
+            return
+        # Chaos repair: a holder that lost (or never received) its
+        # assigned body re-adopts it when a query brings it back.
+        if node.store.has_body(block.block_hash) or not node.store.has_header(
+            block.block_hash
+        ):
+            return
+        header = node.store.header(block.block_hash)
+        holders = self.deployment.holders_in_cluster(header, node.cluster_id)
+        if node.node_id in holders:
+            node.assign_body(block)
 
     # ---------------------------------------------------------------- SPV
     def _on_control(self, node: BaseNode, message: Message) -> None:

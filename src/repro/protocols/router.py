@@ -154,6 +154,29 @@ class MessageRouter:
         for observer in self._observers:
             observer.on_finalize(event)
 
+    # The reliability hooks are optional on observers (getattr-dispatched)
+    # so pre-existing observers — including test stubs — keep working.
+    def note_retry(self, kind: str) -> None:
+        """Record a reliability-layer retry send for ``kind``."""
+        for observer in self._observers:
+            hook = getattr(observer, "on_retry", None)
+            if hook is not None:
+                hook(kind)
+
+    def note_timeout(self, kind: str) -> None:
+        """Record a request deadline that fired while still pending."""
+        for observer in self._observers:
+            hook = getattr(observer, "on_timeout", None)
+            if hook is not None:
+                hook(kind)
+
+    def note_degraded(self, kind: str) -> None:
+        """Record a request that exhausted every replica for ``kind``."""
+        for observer in self._observers:
+            hook = getattr(observer, "on_degraded", None)
+            if hook is not None:
+                hook(kind)
+
 
 class ProtocolEngine:
     """One pluggable slice of a deployment's protocol behaviour.

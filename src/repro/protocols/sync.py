@@ -18,6 +18,7 @@ from repro.crypto.hashing import Hash32
 from repro.net.message import Message, MessageKind
 from repro.node.base import BaseNode
 from repro.node.clusternode import ClusterNode
+from repro.protocols.reliability import PROBE_RETRY_POLICY
 from repro.protocols.router import MessageRouter, ProtocolEngine
 
 #: Callback signature of a generic SYNC_BODIES consumer (repair flows).
@@ -36,6 +37,7 @@ class BootstrapState:
         self.report = report
         self.contact = contact
         self.old_members = old_members
+        self.headers_received = False
         self.pending_sources: set[int] = set()
         self.expected_bodies: set[Hash32] = set()
         # What was asked of each source, to detect undeliverable bodies.
@@ -137,6 +139,94 @@ class SyncEngine(ProtocolEngine):
         session = self.sessions.get(node.node_id)
         if session is not None:
             session(node, message.sender, message.payload)
+
+    # ------------------------------------------------- fault-layer probes
+    def watch_bootstrap(self, node_id: int) -> None:
+        """Under faults, guard one join until it completes.
+
+        A probe chain re-requests whatever phase stalled — headers from
+        an alternate live contact, bodies from alternate live replicas —
+        and, at the attempts cap, strands the unreachable bodies as
+        ``bodies_unavailable`` so the join degrades instead of hanging.
+        Never scheduled on clean networks.
+        """
+        if self.network.faults is None:
+            return
+        self.network.clock.schedule(
+            PROBE_RETRY_POLICY.timeout_for(1), self._probe_bootstrap, node_id, 1
+        )
+
+    def _probe_bootstrap(self, node_id: int, attempt: int) -> None:
+        from repro.core.bootstrap import _maybe_complete
+        from repro.sim.faults import live_members
+
+        state = self.bootstraps.get(node_id)
+        faults = self.network.faults
+        node = self.deployment.nodes.get(node_id)
+        if state is None or faults is None or node is None:
+            return  # completed (or the joiner itself departed)
+        if attempt > PROBE_RETRY_POLICY.probe_attempts:
+            # Every retry exhausted: degrade rather than hang the join.
+            self.router.note_degraded("sync_request")
+            for missing in sorted(state.expected_bodies):
+                state.report.bodies_unavailable.append(missing)
+            state.expected_bodies.clear()
+            state.pending_sources.clear()
+            _maybe_complete(self.deployment, state)
+            return
+        self.router.note_timeout("sync_request")
+        if not state.headers_received:
+            candidates = live_members(self.network, state.old_members)
+            if candidates:
+                state.contact = candidates[attempt % len(candidates)]
+                self.router.note_retry("sync_request")
+                node.send(
+                    MessageKind.SYNC_REQUEST, state.contact, ("headers",), 64
+                )
+        elif state.expected_bodies:
+            self._replan_bodies(state, node)
+            _maybe_complete(self.deployment, state)
+        if self.bootstraps.get(node_id) is state:
+            self.network.clock.schedule(
+                PROBE_RETRY_POLICY.timeout_for(attempt + 1),
+                self._probe_bootstrap,
+                node_id,
+                attempt + 1,
+            )
+
+    def _replan_bodies(self, state: BootstrapState, node: ClusterNode) -> None:
+        """Re-request outstanding bodies, failing over to live replicas."""
+        faults = self.network.faults
+        by_source: dict[int, list[Hash32]] = {}
+        unservable: list[Hash32] = []
+        for block_hash in sorted(state.expected_bodies):
+            source = None
+            for candidate in sorted(self.deployment.nodes):
+                if candidate == node.node_id or not faults.is_live(candidate):
+                    continue
+                peer = self.deployment.nodes[candidate]
+                if peer.store.has_body(block_hash):
+                    source = candidate
+                    break
+            if source is None:
+                unservable.append(block_hash)
+            else:
+                by_source.setdefault(source, []).append(block_hash)
+        for block_hash in unservable:
+            state.expected_bodies.discard(block_hash)
+            state.report.bodies_unavailable.append(block_hash)
+        state.pending_sources = set(by_source)
+        state.requested_from = {
+            source: set(wanted) for source, wanted in by_source.items()
+        }
+        for source, wanted in sorted(by_source.items()):
+            self.router.note_retry("sync_request")
+            node.send(
+                MessageKind.SYNC_REQUEST,
+                source,
+                ("bodies", tuple(wanted)),
+                64 + 32 * len(wanted),
+            )
 
     # ---------------------------------------------------------- lifecycle
     def join_new_node(self) -> BootstrapReport:

@@ -1,0 +1,328 @@
+"""Chaos scenarios: seeded end-to-end runs under the fault layer.
+
+A chaos run drives the full ICIStrategy stack through hostile weather —
+message drop/duplicate/delay rates, mid-run crashes and stalls, optional
+partitions — then heals the network, reconciles every replica, and
+checks the paper's core claim survived: **each cluster again holds the
+complete ledger**.  Everything is derived from one seed, so the same
+configuration reproduces identical fault schedules, retry/timeout
+counters, and outcomes run after run (the chaos test suite pins this).
+
+Shape of a run (:func:`run_chaos`):
+
+1. produce the first half of the block stream under message-level faults;
+2. crash/stall deterministically-chosen victims (removed from the
+   proposer rotation — a crashed proposer would strand its block) and,
+   optionally, cut a minority partition;
+3. produce the second half degraded — the engines' retry probes carry
+   delivery as far as live replicas allow;
+4. heal, restore the rotation, and :func:`reconcile` every node (header
+   catch-up, assigned-body refetch through the query path, finality
+   re-kick via the verification probes);
+5. exercise a join (bootstrap retries) and a batch of queries under the
+   still-lossy link rates;
+6. audit per-cluster integrity.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.chain.validation import DEFAULT_LIMITS, ValidationLimits
+from repro.core.config import ICIConfig
+from repro.core.icistrategy import ICIDeployment
+from repro.errors import ConfigurationError
+from repro.protocols.reliability import RetryPolicy
+from repro.sim.faults import FaultConfig, FaultPlan, PartitionWindow
+from repro.sim.runner import ScenarioRunner
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """One seeded chaos scenario (all randomness derives from ``seed``)."""
+
+    seed: int = 0
+    n_nodes: int = 16
+    n_clusters: int = 4
+    replication: int = 2
+    n_blocks: int = 8
+    txs_per_block: int = 2
+    drop_rate: float = 0.2
+    duplicate_rate: float = 0.05
+    delay_rate: float = 0.05
+    delay_seconds: float = 1.0
+    crash_count: int = 1
+    stall_count: int = 0
+    partition: bool = False
+    join_after: bool = True
+    queries: int = 8
+
+    def __post_init__(self) -> None:
+        if self.n_blocks < 2:
+            raise ConfigurationError("chaos runs need at least 2 blocks")
+        if self.crash_count < 0 or self.stall_count < 0 or self.queries < 0:
+            raise ConfigurationError("counts must be >= 0")
+
+
+@dataclass
+class ChaosOutcome:
+    """What one chaos run did and whether the network came back whole."""
+
+    config: ChaosConfig
+    blocks_produced: int = 0
+    finalized_blocks: int = 0
+    crashed: list[int] = field(default_factory=list)
+    stalled: list[int] = field(default_factory=list)
+    partitioned: list[int] = field(default_factory=list)
+    fault_stats: dict[str, int] = field(default_factory=dict)
+    retries: dict[str, int] = field(default_factory=dict)
+    timeouts: dict[str, int] = field(default_factory=dict)
+    degraded: dict[str, int] = field(default_factory=dict)
+    refetched_bodies: int = 0
+    queries_attempted: int = 0
+    queries_completed: int = 0
+    queries_degraded: int = 0
+    bootstrap_complete: bool | None = None
+    bootstrap_bodies_unavailable: int = 0
+    cluster_integrity: dict[int, bool] = field(default_factory=dict)
+    virtual_seconds: float = 0.0
+    events_processed: int = 0
+
+    @property
+    def integrity_restored(self) -> bool:
+        """Did every cluster end the run holding the full ledger?"""
+        return bool(self.cluster_integrity) and all(
+            self.cluster_integrity.values()
+        )
+
+    def signature(self) -> dict:
+        """The determinism fingerprint: equal for equal (config, seed).
+
+        Covers every counter the fault and reliability layers produced;
+        the chaos tests assert two same-seed runs match exactly.
+        """
+        return {
+            "fault_stats": dict(self.fault_stats),
+            "retries": dict(self.retries),
+            "timeouts": dict(self.timeouts),
+            "degraded": dict(self.degraded),
+            "blocks_produced": self.blocks_produced,
+            "finalized_blocks": self.finalized_blocks,
+            "crashed": list(self.crashed),
+            "stalled": list(self.stalled),
+            "refetched_bodies": self.refetched_bodies,
+            "queries_completed": self.queries_completed,
+            "queries_degraded": self.queries_degraded,
+            "virtual_seconds": self.virtual_seconds,
+            "events_processed": self.events_processed,
+        }
+
+
+#: Backoff pacing chaos runs install on the query tracker.
+CHAOS_QUERY_POLICY = RetryPolicy(
+    base_timeout=2.0, backoff=1.5, max_timeout=12.0, rounds=3
+)
+
+
+def run_chaos(
+    config: ChaosConfig | None = None,
+    limits: ValidationLimits = DEFAULT_LIMITS,
+) -> ChaosOutcome:
+    """Run one seeded chaos scenario end to end (see module docs)."""
+    config = config or ChaosConfig()
+    ici = ICIConfig(
+        n_clusters=config.n_clusters,
+        replication=config.replication,
+        limits=limits,
+    )
+    deployment = ICIDeployment(config.n_nodes, config=ici)
+    runner = ScenarioRunner(deployment, limits=limits, seed=config.seed)
+    plan = FaultPlan(
+        config=FaultConfig(
+            seed=config.seed,
+            drop_rate=config.drop_rate,
+            duplicate_rate=config.duplicate_rate,
+            delay_rate=config.delay_rate,
+            delay_seconds=config.delay_seconds,
+        )
+    )
+    injector = plan.install(deployment.network)
+    deployment.query.set_retry_policy(CHAOS_QUERY_POLICY)
+    outcome = ChaosOutcome(config=config)
+    rng = random.Random(config.seed ^ 0xC4A05)
+
+    # Phase 1: first half of the stream under message-level faults only.
+    first_half = max(1, config.n_blocks // 2)
+    report = runner.produce_blocks(
+        first_half, txs_per_block=config.txs_per_block
+    )
+
+    # Phase 2: mid-run outages.  Victims come only from clusters that can
+    # spare a member (mirrors the churn driver's minimum), and leave the
+    # proposer rotation while down — a dead proposer's block would exist
+    # only in the oracle ledger, unrecoverable by any replica.
+    victims = _pick_victims(
+        deployment, rng, config.crash_count + config.stall_count
+    )
+    outcome.crashed = victims[: config.crash_count]
+    outcome.stalled = victims[config.crash_count :]
+    for victim in outcome.crashed:
+        injector.crash(victim)
+        runner.schedule.remove(victim)
+    for victim in outcome.stalled:
+        injector.stall(victim)
+        runner.schedule.remove(victim)
+    if config.partition:
+        outcome.partitioned = _cut_minority(deployment, injector, victims)
+        for victim in outcome.partitioned:
+            runner.schedule.remove(victim)
+
+    # Phase 3: the degraded half.
+    report2 = runner.produce_blocks(
+        config.n_blocks - first_half, txs_per_block=config.txs_per_block
+    )
+    outcome.blocks_produced = (
+        report.blocks_produced + report2.blocks_produced
+    )
+
+    # Phase 4: heal and reconcile.
+    injector.heal()
+    for victim in outcome.crashed + outcome.stalled + outcome.partitioned:
+        runner.schedule.add(victim)
+    outcome.refetched_bodies = reconcile(deployment)
+
+    # Phase 5: a join and a query batch, still under lossy links.
+    if config.join_after:
+        join = deployment.join_new_node()
+        deployment.run()
+        outcome.bootstrap_complete = join.complete
+        outcome.bootstrap_bodies_unavailable = len(join.bodies_unavailable)
+        if join.complete:
+            runner.schedule.add(join.node_id)
+    block_hashes = report.block_hashes + report2.block_hashes
+    node_ids = sorted(deployment.nodes)
+    for _ in range(config.queries):
+        requester = rng.choice(node_ids)
+        block_hash = rng.choice(block_hashes)
+        record = deployment.retrieve_block(requester, block_hash)
+        deployment.run()
+        outcome.queries_attempted += 1
+        if record.completed_at is not None:
+            outcome.queries_completed += 1
+        if record.degraded:
+            outcome.queries_degraded += 1
+
+    # Phase 6: audit.
+    for view in deployment.clusters.views():
+        outcome.cluster_integrity[view.cluster_id] = (
+            deployment.cluster_holds_full_ledger(view.cluster_id)
+        )
+    outcome.finalized_blocks = deployment.total_finalized_blocks()
+    outcome.fault_stats = injector.stats.as_dict()
+    stats = deployment.metrics.router_stats
+    outcome.retries = dict(stats.retries)
+    outcome.timeouts = dict(stats.timeouts)
+    outcome.degraded = dict(stats.degraded)
+    outcome.virtual_seconds = deployment.network.now
+    outcome.events_processed = deployment.network.clock.processed
+    return outcome
+
+
+def reconcile(deployment: ICIDeployment) -> int:
+    """Repair every replica after a heal; returns bodies refetched.
+
+    Three passes, each drained to quiescence:
+
+    1. **Header catch-up** — nodes that missed gossiped headers (their
+       links were cut) index the canonical headers in height order, which
+       also reopens any verification round they never saw.
+    2. **Body refetch** — every assigned holder missing its body pulls it
+       through the ordinary query path; under faults the query engine
+       re-adopts the body into the holder's assignment.
+    3. **Finality re-kick** — members still stuck re-enter the
+       verification engine's probe chain, which replays certificates or
+       re-broadcasts attestations until the round closes.
+    """
+    headers = list(deployment.ledger.store.iter_active_headers())
+    for node_id in sorted(deployment.nodes):
+        node = deployment.nodes[node_id]
+        for header in headers:
+            if not node.store.has_header(header.block_hash):
+                deployment.dissemination.note_header(node, header)
+    deployment.run()
+
+    refetched = 0
+    for view in deployment.clusters.views():
+        for header in headers:
+            if header.is_genesis:
+                continue
+            holders = deployment.holders_in_cluster(header, view.cluster_id)
+            for holder in holders:
+                node = deployment.nodes[holder]
+                if node.store.has_body(header.block_hash):
+                    continue
+                deployment.retrieve_block(holder, header.block_hash)
+                refetched += 1
+    deployment.run()
+
+    verification = deployment.verification
+    for node_id in sorted(deployment.nodes):
+        node = deployment.nodes[node_id]
+        for header in headers:
+            if header.is_genesis:
+                continue
+            if not node.is_finalized(header.block_hash):
+                verification.ensure_round(node, header)
+    deployment.run()
+    return refetched
+
+
+def _pick_victims(
+    deployment: ICIDeployment, rng: random.Random, count: int
+) -> list[int]:
+    """Deterministically sample outage victims from spare-capacity clusters."""
+    if count == 0:
+        return []
+    minimum = max(deployment.config.replication + 1, 2)
+    candidates = [
+        member
+        for view in deployment.clusters.views()
+        if view.size > minimum
+        for member in view.members
+    ]
+    count = min(count, len(candidates))
+    return rng.sample(sorted(candidates), count) if count else []
+
+
+def _cut_minority(
+    deployment: ICIDeployment, injector, exclude: list[int]
+) -> list[int]:
+    """Partition a below-quorum minority of the largest cluster.
+
+    The cut stays under the Byzantine threshold (⌊(m−1)/3⌋) so the
+    majority side keeps finalizing; the isolated members catch up at
+    heal + reconcile time.
+    """
+    views = sorted(
+        deployment.clusters.views(), key=lambda v: (-v.size, v.cluster_id)
+    )
+    view = views[0]
+    eligible = [m for m in view.members if m not in exclude]
+    cut = max((len(view.members) - 1) // 3, 1)
+    minority = sorted(eligible)[:cut]
+    if not minority:
+        return []
+    others = [
+        node_id
+        for node_id in deployment.nodes
+        if node_id not in minority
+    ]
+    injector.partition(
+        PartitionWindow(
+            side_a=frozenset(minority),
+            side_b=frozenset(others),
+            start=deployment.network.now,
+        )
+    )
+    return minority

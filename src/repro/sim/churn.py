@@ -160,14 +160,25 @@ class ChurnDriver:
         self._check_integrity(report.cluster_id, outcome)
 
     def _pick_victim(self) -> int | None:
-        """A random member whose cluster can afford to lose it."""
+        """A random live member whose cluster can afford to lose it.
+
+        Liveness comes from the fault layer's view (``live_members``),
+        not an ad-hoc membership list: a node the fault plan crashed or
+        stalled is neither counted toward its cluster's spare capacity
+        nor picked for departure, so churn composes with fault
+        injection.  On clean networks every clustered member is online
+        and the candidate list — and hence the RNG draw — is identical
+        to the historical behaviour.
+        """
+        from repro.sim.faults import live_members
+
         minimum = max(self.deployment.config.replication + 1, 2)
-        candidates = [
-            member
-            for view in self.deployment.clusters.views()
-            if view.size > minimum
-            for member in view.members
-        ]
+        network = self.deployment.network
+        candidates: list[int] = []
+        for view in self.deployment.clusters.views():
+            live = live_members(network, view.members)
+            if len(live) > minimum:
+                candidates.extend(live)
         if not candidates:
             return None
         return self._rng.choice(candidates)

@@ -1,0 +1,345 @@
+"""Deterministic fault injection: the simulator's adversarial weather.
+
+The protocol claims (each cluster retains full-network integrity while
+members hold only a slice of the ledger) are only credible if the wire
+protocols survive lost messages, slow links, and crashed peers.  This
+module provides that adversary as a **seeded, reproducible plan**:
+
+* :class:`FaultConfig` — per-message fault rates (drop / duplicate /
+  delay-spike), validated.
+* :class:`PartitionWindow` — a per-link partition: messages crossing the
+  cut during ``[start, end)`` virtual seconds are severed.
+* :class:`OutageEvent` — a node crash / stall / recovery at a virtual
+  time, scheduled on the :class:`~repro.net.simclock.SimClock` when the
+  plan is installed.
+* :class:`FaultPlan` — the full schedule; :meth:`FaultPlan.generate`
+  derives one deterministically from a seed (the golden-pin target).
+* :class:`FaultInjector` — the runtime attached to one
+  :class:`~repro.net.network.Network` via :meth:`FaultPlan.install`;
+  ``Network.send``/``send_many`` consult it per message.
+
+Determinism contract: fault decisions are drawn from one seeded stream in
+send order, and the simulator's send order is itself deterministic, so a
+(seed, config) pair replays the identical fault sequence on any machine.
+When **no** injector is installed the network takes its original code
+path untouched — baseline simulated metrics are byte-identical (the
+bench harness enforces this against ``benchmarks/baseline.json``).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, fields
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.message import Message
+    from repro.net.network import Network
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Per-message fault probabilities (one uniform draw per send).
+
+    The three rates partition one ``[0, 1)`` draw, so at most one
+    message-level fault applies per send: drop wins over duplicate wins
+    over delay.  ``delay_seconds`` is the spike *added* to the normal
+    propagation + transmission delay.
+    """
+
+    seed: int = 0
+    drop_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    delay_rate: float = 0.0
+    delay_seconds: float = 1.0
+
+    def __post_init__(self) -> None:
+        for name in ("drop_rate", "duplicate_rate", "delay_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ConfigurationError(f"{name} must be in [0, 1]")
+        if self.drop_rate + self.duplicate_rate + self.delay_rate > 1.0:
+            raise ConfigurationError(
+                "drop + duplicate + delay rates must not exceed 1"
+            )
+        if self.delay_seconds < 0:
+            raise ConfigurationError("delay_seconds must be >= 0")
+
+
+@dataclass(frozen=True)
+class PartitionWindow:
+    """A link cut between two node groups over a virtual-time window.
+
+    Messages with the sender on one side and the recipient on the other
+    are dropped while ``start <= now < end``.  Traffic within a side is
+    unaffected.
+    """
+
+    side_a: frozenset[int]
+    side_b: frozenset[int]
+    start: float = 0.0
+    end: float = float("inf")
+
+    def __post_init__(self) -> None:
+        if self.side_a & self.side_b:
+            raise ConfigurationError("partition sides must be disjoint")
+        if self.end < self.start:
+            raise ConfigurationError("partition window must not be inverted")
+
+    def severs(self, sender: int, recipient: int, now: float) -> bool:
+        """Does this window cut the (sender, recipient) link right now?"""
+        if not self.start <= now < self.end:
+            return False
+        return (sender in self.side_a and recipient in self.side_b) or (
+            sender in self.side_b and recipient in self.side_a
+        )
+
+
+#: Outage kinds an :class:`OutageEvent` can apply.
+CRASH = "crash"
+STALL = "stall"
+RECOVER = "recover"
+
+
+@dataclass(frozen=True)
+class OutageEvent:
+    """One scheduled node-liveness change at a virtual time."""
+
+    at: float
+    node_id: int
+    kind: str
+
+    def __post_init__(self) -> None:
+        if self.kind not in (CRASH, STALL, RECOVER):
+            raise ConfigurationError(f"unknown outage kind {self.kind!r}")
+        if self.at < 0:
+            raise ConfigurationError("outage time must be >= 0")
+
+
+@dataclass
+class FaultStats:
+    """What the injector actually did to one run (deterministic per seed)."""
+
+    intercepted: int = 0
+    dropped: int = 0
+    duplicated: int = 0
+    delayed: int = 0
+    partition_dropped: int = 0
+    stall_dropped: int = 0
+    crashes: int = 0
+    stalls: int = 0
+    recoveries: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        """Plain-dict view (for reports and determinism signatures)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @property
+    def total_dropped(self) -> int:
+        """Messages lost to any fault (rate, partition, or stall)."""
+        return self.dropped + self.partition_dropped + self.stall_dropped
+
+
+class FaultPlan:
+    """A complete, seeded fault schedule for one simulation run."""
+
+    def __init__(
+        self,
+        config: FaultConfig | None = None,
+        partitions: Sequence[PartitionWindow] = (),
+        outages: Sequence[OutageEvent] = (),
+    ) -> None:
+        self.config = config or FaultConfig()
+        self.partitions = tuple(partitions)
+        self.outages = tuple(sorted(outages, key=lambda e: (e.at, e.node_id)))
+
+    @classmethod
+    def generate(
+        cls,
+        seed: int,
+        node_ids: Iterable[int],
+        *,
+        drop_rate: float = 0.0,
+        duplicate_rate: float = 0.0,
+        delay_rate: float = 0.0,
+        delay_seconds: float = 1.0,
+        crash_count: int = 0,
+        stall_count: int = 0,
+        outage_window: tuple[float, float] = (0.0, 60.0),
+        outage_duration: float = 10.0,
+    ) -> "FaultPlan":
+        """Derive a full plan deterministically from ``seed``.
+
+        Crash/stall victims are sampled without replacement from
+        ``node_ids``; each outage starts uniformly inside
+        ``outage_window`` and recovers ``outage_duration`` later.  Equal
+        inputs yield an identical schedule on every machine — the
+        fixed-seed golden pins in ``tests/test_faults.py`` rely on it.
+        """
+        ids = sorted(node_ids)
+        total = crash_count + stall_count
+        if total > len(ids):
+            raise ConfigurationError(
+                f"{total} outages need at least that many nodes "
+                f"(got {len(ids)})"
+            )
+        if outage_duration < 0:
+            raise ConfigurationError("outage_duration must be >= 0")
+        start, end = outage_window
+        if end < start or start < 0:
+            raise ConfigurationError("outage_window must be ordered and >= 0")
+        rng = random.Random(seed ^ 0xFA017)
+        victims = rng.sample(ids, total) if total else []
+        outages: list[OutageEvent] = []
+        for index, victim in enumerate(victims):
+            kind = CRASH if index < crash_count else STALL
+            at = start + rng.random() * (end - start)
+            outages.append(OutageEvent(at=at, node_id=victim, kind=kind))
+            outages.append(
+                OutageEvent(
+                    at=at + outage_duration, node_id=victim, kind=RECOVER
+                )
+            )
+        config = FaultConfig(
+            seed=seed,
+            drop_rate=drop_rate,
+            duplicate_rate=duplicate_rate,
+            delay_rate=delay_rate,
+            delay_seconds=delay_seconds,
+        )
+        return cls(config=config, outages=outages)
+
+    def install(self, network: "Network") -> "FaultInjector":
+        """Attach an injector for this plan to ``network``.
+
+        Scheduled outages land on the network's clock immediately; the
+        injector starts intercepting on the next ``send``.
+        """
+        injector = FaultInjector(self, network)
+        network.attach_faults(injector)
+        return injector
+
+
+class FaultInjector:
+    """Runtime fault state for one network; created by ``FaultPlan.install``.
+
+    The injector holds the seeded decision stream, the stall set, and the
+    live partition list; :class:`~repro.net.network.Network` consults
+    :meth:`intercept` once per message handed to ``send``.
+    """
+
+    def __init__(self, plan: FaultPlan, network: "Network") -> None:
+        self.plan = plan
+        self.network = network
+        self.stats = FaultStats()
+        self._rng = random.Random(plan.config.seed)
+        self._stalled: set[int] = set()
+        self._partitions: list[PartitionWindow] = list(plan.partitions)
+        self._crashed: set[int] = set()
+        for event in plan.outages:
+            at = max(event.at, network.clock.now)
+            network.clock.schedule_at(at, self._apply_outage, event)
+
+    # ------------------------------------------------------------ liveness
+    def is_stalled(self, node_id: int) -> bool:
+        """Is the node currently stalled (reachable but unresponsive)?"""
+        return node_id in self._stalled
+
+    def is_live(self, node_id: int) -> bool:
+        """The fault layer's liveness view: online and not stalled."""
+        return self.network.is_online(node_id) and node_id not in self._stalled
+
+    def crash(self, node_id: int) -> None:
+        """Crash a node now (messages to/from it are lost until recovery)."""
+        self.network.set_online(node_id, False)
+        self._crashed.add(node_id)
+        self.stats.crashes += 1
+
+    def stall(self, node_id: int) -> None:
+        """Stall a node now: it stays registered but all its traffic drops."""
+        self._stalled.add(node_id)
+        self.stats.stalls += 1
+
+    def recover(self, node_id: int) -> None:
+        """Bring a crashed or stalled node back."""
+        if node_id in self._crashed:
+            self.network.set_online(node_id, True)
+            self._crashed.discard(node_id)
+        self._stalled.discard(node_id)
+        self.stats.recoveries += 1
+
+    def partition(self, window: PartitionWindow) -> None:
+        """Add a partition window at runtime (tests and chaos drivers)."""
+        self._partitions.append(window)
+
+    def heal(self) -> None:
+        """End every fault source: recover nodes, clear stalls, rejoin cuts.
+
+        Message-level fault *rates* keep applying — healing restores
+        connectivity, not perfect weather.
+        """
+        now = self.network.now
+        for node_id in sorted(self._crashed | self._stalled):
+            self.recover(node_id)
+        self._partitions = [
+            window for window in self._partitions if window.end <= now
+        ]
+
+    def _apply_outage(self, event: OutageEvent) -> None:
+        if event.node_id not in self.network.node_ids:
+            return  # departed before its outage fired
+        if event.kind == CRASH:
+            self.crash(event.node_id)
+        elif event.kind == STALL:
+            self.stall(event.node_id)
+        else:
+            self.recover(event.node_id)
+
+    # ------------------------------------------------------------ messages
+    def intercept(self, message: "Message", now: float) -> tuple[int, float]:
+        """Decide one message's fate: ``(copies, extra_delay)``.
+
+        ``copies`` is how many deliveries to schedule (0 = dropped,
+        2 = duplicated); ``extra_delay`` is added to each copy's normal
+        delay.  Exactly one RNG draw is consumed per rate-eligible
+        message, keeping the decision stream reproducible.
+        """
+        self.stats.intercepted += 1
+        sender, recipient = message.sender, message.recipient
+        if sender in self._stalled or recipient in self._stalled:
+            self.stats.stall_dropped += 1
+            return 0, 0.0
+        for window in self._partitions:
+            if window.severs(sender, recipient, now):
+                self.stats.partition_dropped += 1
+                return 0, 0.0
+        config = self.plan.config
+        if config.drop_rate or config.duplicate_rate or config.delay_rate:
+            draw = self._rng.random()
+            if draw < config.drop_rate:
+                self.stats.dropped += 1
+                return 0, 0.0
+            if draw < config.drop_rate + config.duplicate_rate:
+                self.stats.duplicated += 1
+                return 2, 0.0
+            if (
+                draw
+                < config.drop_rate + config.duplicate_rate + config.delay_rate
+            ):
+                self.stats.delayed += 1
+                return 1, config.delay_seconds
+        return 1, 0.0
+
+
+def live_members(network: "Network", members: Iterable[int]) -> list[int]:
+    """Filter ``members`` through the fault layer's liveness view.
+
+    Order-preserving; with no injector installed this is exactly the
+    online filter, so fault-free callers see identical candidate lists.
+    """
+    faults = network.faults
+    if faults is None:
+        return [m for m in members if network.is_online(m)]
+    return [m for m in members if faults.is_live(m)]

@@ -136,3 +136,30 @@ class TestSoak:
         ledger_bytes = deployment.ledger.store.stored_bytes
         storage = deployment.storage_report()
         assert storage.mean_node_bytes < 0.6 * ledger_bytes
+
+
+class TestChaosSoak:
+    """Chaos endurance at soak scale: hostile weather on a big population."""
+
+    def test_chaos_endurance_at_scale(self):
+        from repro.sim.chaos import ChaosConfig, run_chaos
+
+        outcome = run_chaos(
+            ChaosConfig(
+                seed=42,
+                n_nodes=16 * SOAK_SCALE,
+                n_clusters=4 * SOAK_SCALE,
+                replication=2,
+                n_blocks=8,
+                drop_rate=0.2,
+                duplicate_rate=0.05,
+                delay_rate=0.05,
+                crash_count=SOAK_SCALE,
+                partition=True,
+            ),
+            limits=TEST_LIMITS,
+        )
+        assert outcome.integrity_restored, outcome.cluster_integrity
+        assert outcome.bootstrap_complete
+        assert outcome.fault_stats["recoveries"] == SOAK_SCALE
+        assert outcome.queries_completed == outcome.queries_attempted
