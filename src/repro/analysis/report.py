@@ -302,6 +302,29 @@ def render_chaos_summary(outcome) -> str:
             or [("(none)", 0, 0, 0)],
         )
     )
+    percentiles = getattr(outcome, "latency_percentiles", None)
+    if percentiles:
+        lines += [
+            "",
+            "## Delivery latency (virtual time)",
+            "",
+            _md_table(
+                ["message kind", "delivered", "p50", "p95", "p99", "max"],
+                [
+                    (
+                        kind,
+                        entry.get("count", 0),
+                        format_seconds(entry.get("p50", 0.0)),
+                        format_seconds(entry.get("p95", 0.0)),
+                        format_seconds(entry.get("p99", 0.0)),
+                        format_seconds(entry.get("max", 0.0)),
+                    )
+                    for kind, entry in sorted(percentiles.items())
+                    if entry.get("count", 0)
+                ]
+                or [("(none)", 0, "-", "-", "-", "-")],
+            ),
+        ]
     lines += [
         "",
         "## Exercised under faults",
@@ -330,6 +353,109 @@ def render_chaos_summary(outcome) -> str:
             ],
         ),
     ]
+    return "\n".join(lines) + "\n"
+
+
+#: Eight-level activity sparkline glyphs for node timelines.
+_SPARK_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def _sparkline(counts) -> str:
+    peak = max(counts, default=0)
+    if peak == 0:
+        return "·" * len(counts)
+    return "".join(
+        "·" if count == 0
+        else _SPARK_BLOCKS[
+            min((count * len(_SPARK_BLOCKS)) // peak,
+                len(_SPARK_BLOCKS) - 1)
+        ]
+        for count in counts
+    )
+
+
+def render_trace_summary(summary, title: str = "Trace summary") -> str:
+    """Markdown view of one :class:`repro.obs.summary.TraceSummary`.
+
+    Three tables: per-message-kind queue-latency percentiles (virtual
+    time), per-node send/receive/bytes timelines (with an activity
+    sparkline over the trace's virtual-time span), and the phase spans.
+    """
+    lines = [
+        f"# {title}",
+        "",
+        f"- events: {summary.events} retained "
+        f"({summary.recorded} recorded, {summary.evicted} evicted)",
+        f"- virtual span: {format_seconds(summary.span_seconds)} "
+        f"(from {summary.t_start:.3f}s to {summary.t_end:.3f}s)",
+        "",
+        "## Delivery latency by message kind (virtual time)",
+        "",
+    ]
+    latency_rows = [
+        (
+            latency.kind,
+            latency.count,
+            format_seconds(latency.p50),
+            format_seconds(latency.p95),
+            format_seconds(latency.p99),
+            format_seconds(latency.max),
+            latency.unmatched,
+        )
+        for _, latency in sorted(summary.kinds.items())
+        if latency.count
+    ]
+    lines.append(
+        _md_table(
+            ["message kind", "delivered", "p50", "p95", "p99", "max",
+             "unmatched"],
+            latency_rows or [("(none)", 0, "-", "-", "-", "-", 0)],
+        )
+    )
+    if summary.nodes:
+        lines += ["", "## Per-node timelines", ""]
+        node_rows = []
+        single_label = (
+            len({node.label for node in summary.nodes.values()}) <= 1
+        )
+        for key in sorted(
+            summary.nodes,
+            key=lambda k: (summary.nodes[k].label, summary.nodes[k].node_id),
+        ):
+            node = summary.nodes[key]
+            name = (
+                str(node.node_id)
+                if single_label
+                else f"{node.label}/{node.node_id}"
+            )
+            node_rows.append(
+                (
+                    name,
+                    node.sends,
+                    node.receives,
+                    format_bytes(node.bytes_sent),
+                    format_bytes(node.bytes_received),
+                    f"`{_sparkline(node.timeline)}`",
+                )
+            )
+        lines.append(
+            _md_table(
+                ["node", "sends", "recvs", "bytes out", "bytes in",
+                 "activity"],
+                node_rows,
+            )
+        )
+    if summary.phases:
+        lines += ["", "## Phases", ""]
+        lines.append(
+            _md_table(
+                ["phase", "start", "duration"],
+                [
+                    (name, f"{start:.3f}s", format_seconds(dur))
+                    for name, start, dur in summary.phases
+                ],
+            )
+        )
     return "\n".join(lines) + "\n"
 
 

@@ -120,12 +120,14 @@ class BenchmarkRunner:
         workloads: list[BenchWorkload],
         profile: BenchProfile,
         progress=None,
+        trace_dir: Path | None = None,
     ) -> None:
         if not workloads:
             raise BenchError("no workloads to run")
         self.workloads = list(workloads)
         self.profile = profile
         self._progress = progress or (lambda line: None)
+        self._trace_dir = trace_dir
 
     # ------------------------------------------------------------- running
     def run(self) -> dict:
@@ -186,12 +188,38 @@ class BenchmarkRunner:
             f"{workload.bench_id}: min {min(samples):.3f}s over "
             f"{len(samples)} reps"
         )
+        if self._trace_dir is not None:
+            self._trace_workload(workload)
         return {
             "title": workload.title,
             "wall_seconds": wall_stats(samples),
             "peak_rss_kb": _peak_rss_kb(),
             "simulated": reference or {},
         }
+
+    def _trace_workload(self, workload: BenchWorkload) -> Path:
+        """One extra untimed pass under an active tracer; exports JSON.
+
+        Runs after the timed repetitions so tracing cannot perturb the
+        wall-clock samples; deployments built inside the tracing scope
+        self-attach (see :class:`~repro.core.interface.StorageDeployment`).
+        """
+        from repro.obs.export import write_chrome_trace
+        from repro.obs.tracer import Tracer, tracing
+
+        tracer = Tracer()
+        with tracing(tracer):
+            workload.run(self.profile)
+        path = write_chrome_trace(
+            tracer,
+            self._trace_dir / f"TRACE_{workload.bench_id}.json",
+            label=f"{workload.bench_id}: {workload.title}",
+        )
+        self._progress(
+            f"{workload.bench_id}: trace ({len(tracer)} events, "
+            f"{tracer.evicted} evicted) -> {path}"
+        )
+        return path
 
     # ------------------------------------------------------------- writing
     def write(self, payload: dict, output_dir: Path) -> Path:

@@ -8,7 +8,12 @@ Commands:
 * ``experiments`` — list the reproduced experiments and their benches.
 * ``bench``    — unified benchmark harness: run the experiment workloads,
   write versioned ``BENCH_*.json`` results, compare against the committed
-  baseline.
+  baseline (``--trace`` adds one traced pass per bench).
+* ``chaos``    — seeded fault-injection run with a markdown audit
+  (``--trace`` exports the run's Chrome trace).
+* ``trace``    — record a structured trace of one scenario: Chrome
+  trace-event JSON (Perfetto-loadable, one track per node), optional
+  JSONL stream, and a markdown latency/timeline summary.
 """
 
 from __future__ import annotations
@@ -149,6 +154,12 @@ def build_parser() -> argparse.ArgumentParser:
         dest="list_workloads",
         help="list discovered workloads and exit",
     )
+    bench.add_argument(
+        "--trace",
+        action="store_true",
+        help="after the timed reps, run each bench once under the tracer "
+        "and write TRACE_<id>.json next to the results",
+    )
 
     chaos = sub.add_parser(
         "chaos",
@@ -203,6 +214,68 @@ def build_parser() -> argparse.ArgumentParser:
         "--report",
         metavar="FILE",
         help="write the markdown summary to FILE as well as stdout",
+    )
+    chaos.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="export the run's Chrome trace-event JSON to FILE",
+    )
+
+    trace = sub.add_parser(
+        "trace",
+        help="record a structured trace of one scenario "
+        "(Chrome/Perfetto JSON + markdown summary)",
+    )
+    trace.add_argument(
+        "scenario",
+        nargs="?",
+        choices=("ici", "full", "rapidchain"),
+        default="ici",
+        help="strategy to deploy (default ici)",
+    )
+    _common_args(trace)
+    trace.add_argument(
+        "--replication", type=int, default=1, help="ICI replicas per block"
+    )
+    trace.add_argument(
+        "--chaos",
+        action="store_true",
+        help="trace the seeded chaos scenario instead of a clean stream "
+        "(ici only)",
+    )
+    trace.add_argument(
+        "--queries",
+        type=int,
+        default=8,
+        help="block retrievals exercised after the stream (default 8)",
+    )
+    trace.add_argument(
+        "--out",
+        metavar="FILE",
+        default="trace.json",
+        help="Chrome trace-event JSON output (default trace.json)",
+    )
+    trace.add_argument(
+        "--jsonl",
+        metavar="FILE",
+        help="also write the full-fidelity JSONL event stream to FILE",
+    )
+    trace.add_argument(
+        "--summary",
+        metavar="FILE",
+        nargs="?",
+        const="-",
+        help="write the markdown summary to FILE ('-' or no value: stdout)",
+    )
+    trace.add_argument(
+        "--capacity",
+        type=int,
+        help="ring-buffer size in events (default 200000; oldest evicted)",
+    )
+    trace.add_argument(
+        "--no-callback-spans",
+        action="store_true",
+        help="skip per-simclock-callback spans (much smaller traces)",
     )
     return parser
 
@@ -390,16 +463,18 @@ def cmd_bench(args: argparse.Namespace) -> int:
         )
         return 0
 
-    runner = BenchmarkRunner(
-        workloads, PROFILES[args.profile], progress=print
-    )
-    payload = runner.run()
-
     output_dir = (
         Path(args.output_dir)
         if args.output_dir
         else repo_root / "benchmarks" / "results"
     )
+    runner = BenchmarkRunner(
+        workloads,
+        PROFILES[args.profile],
+        progress=print,
+        trace_dir=output_dir if args.trace else None,
+    )
+    payload = runner.run()
     json_path = runner.write(payload, output_dir)
     print(f"results written to {json_path}")
 
@@ -480,7 +555,105 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         with open(args.report, "w", encoding="utf-8") as handle:
             handle.write(summary)
         print(f"\nreport written to {args.report}", file=sys.stderr)
+    if args.trace and outcome.tracer is not None:
+        from repro.obs.export import write_chrome_trace
+
+        path = write_chrome_trace(
+            outcome.tracer, Path(args.trace), label="chaos"
+        )
+        print(
+            f"trace ({len(outcome.tracer)} events) written to {path}",
+            file=sys.stderr,
+        )
     return 0 if outcome.integrity_restored else 1
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """``trace``: record one scenario under the tracer and export it."""
+    import random
+
+    from repro.analysis.report import render_trace_summary
+    from repro.obs.export import (
+        to_chrome_trace,
+        validate_chrome_trace,
+        write_jsonl,
+    )
+    from repro.obs.summary import summarize
+    from repro.obs.tracer import DEFAULT_CAPACITY, Tracer, tracing
+
+    tracer = Tracer(
+        capacity=args.capacity or DEFAULT_CAPACITY,
+        trace_callbacks=not args.no_callback_spans,
+    )
+    if args.chaos:
+        if args.scenario != "ici":
+            print("--chaos only traces the ici strategy", file=sys.stderr)
+            return 2
+        from repro.sim.chaos import ChaosConfig, run_chaos
+
+        config = ChaosConfig(
+            seed=args.seed,
+            n_nodes=args.nodes,
+            n_clusters=args.groups,
+            n_blocks=args.blocks,
+            txs_per_block=args.txs,
+        )
+        run_chaos(config, tracer=tracer)
+        label = f"chaos seed={args.seed}"
+    else:
+        with tracing(tracer):
+            deployment = _deploy(args, args.scenario)
+            runner = ScenarioRunner(deployment, limits=BENCH_LIMITS)
+            with tracer.span("produce"):
+                report = runner.produce_blocks(
+                    args.blocks, txs_per_block=args.txs
+                )
+            with tracer.span("join"):
+                deployment.join_new_node()
+                deployment.run()
+            with tracer.span("queries"):
+                rng = random.Random(args.seed ^ 0x7ACE)
+                hashes = list(report.block_hashes)
+                node_ids = sorted(deployment.nodes)
+                for _ in range(args.queries):
+                    if not hashes:
+                        break
+                    deployment.retrieve_block(
+                        rng.choice(node_ids), rng.choice(hashes)
+                    )
+                deployment.run()
+        label = f"{args.scenario} N={args.nodes} groups={args.groups}"
+
+    payload = to_chrome_trace(tracer, label=label)
+    problems = validate_chrome_trace(payload)
+    if problems:
+        for problem in problems:
+            print(f"invalid trace: {problem}", file=sys.stderr)
+        return 1
+    out_path = Path(args.out)
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    import json
+
+    out_path.write_text(
+        json.dumps(payload, separators=(",", ":")), encoding="utf-8"
+    )
+    print(
+        f"trace written to {out_path} ({len(tracer)} events retained, "
+        f"{tracer.evicted} evicted)"
+    )
+    if args.jsonl:
+        jsonl_path = write_jsonl(tracer, Path(args.jsonl))
+        print(f"event stream written to {jsonl_path}")
+    if args.summary:
+        summary_md = render_trace_summary(
+            summarize(tracer), title=f"Trace summary — {label}"
+        )
+        if args.summary == "-":
+            print(summary_md, end="")
+        else:
+            Path(args.summary).write_text(summary_md, encoding="utf-8")
+            print(f"summary written to {args.summary}")
+    return 0
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -493,6 +666,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "experiments": cmd_experiments,
         "bench": cmd_bench,
         "chaos": cmd_chaos,
+        "trace": cmd_trace,
     }
     return handlers[args.command](args)
 

@@ -91,3 +91,7 @@ class BootstrapError(ReproError):
 
 class SimulationError(ReproError):
     """The discrete-event simulation reached an inconsistent state."""
+
+
+class ObservabilityError(ReproError):
+    """Misuse of the tracing/telemetry layer (:mod:`repro.obs`)."""

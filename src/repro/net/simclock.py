@@ -14,6 +14,7 @@ entry must stay mutable.
 from __future__ import annotations
 
 from heapq import heappop, heappush
+from time import perf_counter
 from typing import Any, Callable
 
 from repro.errors import SimulationError
@@ -68,6 +69,7 @@ class SimClock:
         self._next_seq = 0
         self._max_events = max_events
         self._processed = 0
+        self._tracer = None
 
     # -------------------------------------------------------------- queries
     @property
@@ -112,6 +114,16 @@ class SimClock:
         heappush(self._heap, entry)
         return EventHandle(entry)
 
+    # ------------------------------------------------------- instrumentation
+    def attach_tracer(self, tracer) -> None:
+        """Hook callback execution into a :class:`repro.obs.tracer.Tracer`.
+
+        Pass ``None`` to detach.  With no tracer attached the dispatch
+        path is the original code behind one ``is None`` check — the
+        bench regression gate holds with tracing off.
+        """
+        self._tracer = tracer
+
     # ------------------------------------------------------------ execution
     def step(self) -> bool:
         """Pop and run the next event; ``False`` when the queue is empty."""
@@ -128,7 +140,15 @@ class SimClock:
                     f"event budget exceeded ({self._max_events}); "
                     "likely a protocol feedback loop"
                 )
-            callback(*entry[_ARGS])
+            tracer = self._tracer
+            if tracer is None:
+                callback(*entry[_ARGS])
+            else:
+                wall_start = perf_counter()
+                callback(*entry[_ARGS])
+                tracer.callback_event(
+                    callback, self._now, perf_counter() - wall_start
+                )
             return True
         return False
 

@@ -1,0 +1,39 @@
+"""Structured tracing & telemetry (``repro.obs``).
+
+A :class:`~repro.obs.tracer.Tracer` records spans and instant events —
+stamped with both simclock virtual time and wall time — into a bounded
+ring buffer, attached non-invasively through the simulator's existing
+hook surfaces (router observers, the simclock callback hook, the fault
+injector's tracer slot).  Exporters turn a trace into Chrome trace-event
+JSON (Perfetto-loadable, one track per node) or a JSONL stream, and the
+summary pass computes per-kind latency percentiles and per-node
+timelines.  See ``repro trace --help`` for the CLI entry point.
+"""
+
+from repro.obs.hooks import TracingObserver, install_tracing
+from repro.obs.summary import TraceSummary, summarize
+from repro.obs.tracer import (
+    TraceEvent,
+    Tracer,
+    activate,
+    active_tracer,
+    deactivate,
+    node_track,
+    proto_track,
+    tracing,
+)
+
+__all__ = [
+    "TraceEvent",
+    "Tracer",
+    "TraceSummary",
+    "TracingObserver",
+    "activate",
+    "active_tracer",
+    "deactivate",
+    "install_tracing",
+    "node_track",
+    "proto_track",
+    "summarize",
+    "tracing",
+]

@@ -1,0 +1,171 @@
+"""Attachment points: how a :class:`~repro.obs.tracer.Tracer` reaches a run.
+
+Tracing is strictly additive — it observes through hook surfaces the
+simulator already exposes and never touches protocol state:
+
+* :class:`TracingObserver` implements the router's observer protocol
+  (``on_send`` / ``on_deliver`` / ``on_finalize`` plus the optional
+  reliability hooks), mirroring per-kind traffic onto per-node tracks.
+  Deliveries whose send it witnessed become **queue-latency spans**
+  (send → dispatch, virtual time); gossip relays that enter the network
+  directly appear as delivery instants.
+* :func:`install_tracing` wires one deployment: router observer, the
+  simclock callback hook (optional, high volume), and the fault
+  injector's tracer slot when one is attached.
+
+:class:`~repro.core.interface.StorageDeployment` calls
+:func:`install_tracing` on itself at construction when a tracer is
+active (:func:`repro.obs.tracer.active_tracer`), which is how the bench
+harness traces workloads that build their own deployments.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.obs.tracer import Tracer, node_track, proto_track
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.message import Message
+    from repro.net.simclock import SimClock
+    from repro.node.base import BaseNode
+    from repro.protocols.router import FinalizeEvent
+
+#: Cap on the in-flight send-timestamp map: sends that are never
+#: delivered (drops, crashes) must not grow memory without bound.
+_PENDING_SEND_LIMIT = 100_000
+
+
+class TracingObserver:
+    """Router observer mirroring protocol traffic into a tracer.
+
+    One observer serves one deployment (it holds that deployment's clock
+    and track label); a single tracer can carry several observers, which
+    is how multi-deployment comparison workloads share one trace.
+    """
+
+    def __init__(
+        self, tracer: Tracer, clock: "SimClock", label: str = ""
+    ) -> None:
+        self._tracer = tracer
+        self._clock = clock
+        self._label = label
+        self._reliability = proto_track("reliability", label)
+        self._consensus = proto_track("consensus", label)
+        # message_id -> send virtual time, for queue-latency spans.
+        self._sent_at: dict[int, float] = {}
+        # kind -> kind.value resolved once (hot path, same trick as
+        # MetricsRecorder).
+        self._kind_value: dict = {}
+
+    def _value_of(self, kind) -> str:
+        value = self._kind_value.get(kind)
+        if value is None:
+            value = self._kind_value[kind] = kind.value
+        return value
+
+    # -------------------------------------------------------- router hooks
+    def on_send(self, message: "Message") -> None:
+        """A node handed a protocol message to the network."""
+        now = self._clock.now
+        sent_at = self._sent_at
+        if len(sent_at) >= _PENDING_SEND_LIMIT:
+            sent_at.pop(next(iter(sent_at)))
+        sent_at[message.message_id] = now
+        self._tracer.instant(
+            self._value_of(message.kind),
+            node_track(message.sender, self._label),
+            ts=now,
+            category="send",
+            args={"to": message.recipient, "bytes": message.size_bytes},
+        )
+
+    def on_deliver(self, node: "BaseNode", message: "Message") -> None:
+        """A message is dispatched: close its queue-latency span."""
+        now = self._clock.now
+        start = self._sent_at.pop(message.message_id, None)
+        track = node_track(message.recipient, self._label)
+        kind = self._value_of(message.kind)
+        args = {"from": message.sender, "bytes": message.size_bytes}
+        if start is None:
+            # Relay or duplicate: no witnessed send to anchor a span.
+            self._tracer.instant(
+                kind, track, ts=now, category="deliver", args=args
+            )
+        else:
+            self._tracer.complete(
+                kind, track, start, now - start,
+                category="deliver", args=args,
+            )
+
+    def on_finalize(self, event: "FinalizeEvent") -> None:
+        """A block finalized somewhere: mark the node (or the cluster)."""
+        track = (
+            node_track(event.node_id, self._label)
+            if event.node_id is not None
+            else self._consensus
+        )
+        self._tracer.instant(
+            "finalize",
+            track,
+            ts=event.at,
+            category="finalize",
+            args={
+                "cluster": event.cluster_id,
+                "accepted": event.accepted,
+                "cluster_final": event.cluster_final,
+            },
+        )
+
+    # --------------------------------------------------- reliability hooks
+    def on_retry(self, kind: str) -> None:
+        """A reliability-layer retry fired for ``kind``."""
+        self._tracer.instant(
+            kind, self._reliability, ts=self._clock.now, category="retry"
+        )
+
+    def on_timeout(self, kind: str) -> None:
+        """A request deadline fired while still pending."""
+        self._tracer.instant(
+            kind, self._reliability, ts=self._clock.now, category="timeout"
+        )
+
+    def on_degraded(self, kind: str) -> None:
+        """A request exhausted every replica."""
+        self._tracer.instant(
+            kind, self._reliability, ts=self._clock.now, category="degraded"
+        )
+
+
+def install_tracing(
+    deployment,
+    tracer: Tracer,
+    *,
+    callbacks: bool | None = None,
+    label: str | None = None,
+) -> TracingObserver:
+    """Attach ``tracer`` to one deployment through the hook surfaces.
+
+    Args:
+        deployment: any :class:`~repro.core.interface.StorageDeployment`.
+        tracer: the recording sink.
+        callbacks: also hook simclock callback execution (defaults to
+            ``tracer.trace_callbacks``).  High volume — every simulated
+            event — but the ring buffer bounds it.
+        label: track label; defaults to a per-tracer-unique class name,
+            so multi-deployment workloads keep separate node timelines.
+
+    Returns the installed observer (tests inspect it).
+    """
+    if label is None:
+        label = tracer.label_for(deployment)
+    clock = deployment.network.clock
+    tracer.bind_clock(clock)
+    observer = TracingObserver(tracer, clock, label)
+    deployment.router.add_observer(observer)
+    if callbacks if callbacks is not None else tracer.trace_callbacks:
+        clock.attach_tracer(tracer)
+    faults = deployment.network.faults
+    if faults is not None:
+        faults.attach_tracer(tracer)
+    return observer

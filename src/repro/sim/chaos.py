@@ -33,6 +33,9 @@ from repro.chain.validation import DEFAULT_LIMITS, ValidationLimits
 from repro.core.config import ICIConfig
 from repro.core.icistrategy import ICIDeployment
 from repro.errors import ConfigurationError
+from repro.obs.hooks import install_tracing
+from repro.obs.summary import summarize
+from repro.obs.tracer import Tracer
 from repro.protocols.reliability import RetryPolicy
 from repro.sim.faults import FaultConfig, FaultPlan, PartitionWindow
 from repro.sim.runner import ScenarioRunner
@@ -88,6 +91,15 @@ class ChaosOutcome:
     cluster_integrity: dict[int, bool] = field(default_factory=dict)
     virtual_seconds: float = 0.0
     events_processed: int = 0
+    #: Per-kind delivery-latency percentiles (virtual time) from the
+    #: run's trace; quantifies degradation beyond the counters.  Not
+    #: part of :meth:`signature` — latency values are floats derived
+    #: from the same deterministic stream the counters pin.
+    latency_percentiles: dict[str, dict[str, float]] = field(
+        default_factory=dict
+    )
+    #: The run's tracer (``repro chaos --trace`` exports it).
+    tracer: Tracer | None = field(default=None, repr=False)
 
     @property
     def integrity_restored(self) -> bool:
@@ -128,8 +140,16 @@ CHAOS_QUERY_POLICY = RetryPolicy(
 def run_chaos(
     config: ChaosConfig | None = None,
     limits: ValidationLimits = DEFAULT_LIMITS,
+    tracer: Tracer | None = None,
 ) -> ChaosOutcome:
-    """Run one seeded chaos scenario end to end (see module docs)."""
+    """Run one seeded chaos scenario end to end (see module docs).
+
+    Every run carries a tracer (a caller-supplied one, or an internal
+    default-capacity one): the delivery-latency percentiles in the
+    outcome come from its deliver spans.  Tracing is observation-only —
+    it draws no randomness and schedules nothing, so the determinism
+    signature is unchanged by it (the chaos suite pins this).
+    """
     config = config or ChaosConfig()
     ici = ICIConfig(
         n_clusters=config.n_clusters,
@@ -149,14 +169,18 @@ def run_chaos(
     )
     injector = plan.install(deployment.network)
     deployment.query.set_retry_policy(CHAOS_QUERY_POLICY)
-    outcome = ChaosOutcome(config=config)
+    if tracer is None:
+        tracer = Tracer()
+    install_tracing(deployment, tracer)
+    outcome = ChaosOutcome(config=config, tracer=tracer)
     rng = random.Random(config.seed ^ 0xC4A05)
 
     # Phase 1: first half of the stream under message-level faults only.
     first_half = max(1, config.n_blocks // 2)
-    report = runner.produce_blocks(
-        first_half, txs_per_block=config.txs_per_block
-    )
+    with tracer.span("produce:clean"):
+        report = runner.produce_blocks(
+            first_half, txs_per_block=config.txs_per_block
+        )
 
     # Phase 2: mid-run outages.  Victims come only from clusters that can
     # spare a member (mirrors the churn driver's minimum), and leave the
@@ -179,39 +203,47 @@ def run_chaos(
             runner.schedule.remove(victim)
 
     # Phase 3: the degraded half.
-    report2 = runner.produce_blocks(
-        config.n_blocks - first_half, txs_per_block=config.txs_per_block
-    )
+    with tracer.span("produce:degraded"):
+        report2 = runner.produce_blocks(
+            config.n_blocks - first_half,
+            txs_per_block=config.txs_per_block,
+        )
     outcome.blocks_produced = (
         report.blocks_produced + report2.blocks_produced
     )
 
     # Phase 4: heal and reconcile.
-    injector.heal()
-    for victim in outcome.crashed + outcome.stalled + outcome.partitioned:
-        runner.schedule.add(victim)
-    outcome.refetched_bodies = reconcile(deployment)
+    with tracer.span("heal:reconcile"):
+        injector.heal()
+        for victim in (
+            outcome.crashed + outcome.stalled + outcome.partitioned
+        ):
+            runner.schedule.add(victim)
+        outcome.refetched_bodies = reconcile(deployment)
 
     # Phase 5: a join and a query batch, still under lossy links.
-    if config.join_after:
-        join = deployment.join_new_node()
-        deployment.run()
-        outcome.bootstrap_complete = join.complete
-        outcome.bootstrap_bodies_unavailable = len(join.bodies_unavailable)
-        if join.complete:
-            runner.schedule.add(join.node_id)
-    block_hashes = report.block_hashes + report2.block_hashes
-    node_ids = sorted(deployment.nodes)
-    for _ in range(config.queries):
-        requester = rng.choice(node_ids)
-        block_hash = rng.choice(block_hashes)
-        record = deployment.retrieve_block(requester, block_hash)
-        deployment.run()
-        outcome.queries_attempted += 1
-        if record.completed_at is not None:
-            outcome.queries_completed += 1
-        if record.degraded:
-            outcome.queries_degraded += 1
+    with tracer.span("join:queries"):
+        if config.join_after:
+            join = deployment.join_new_node()
+            deployment.run()
+            outcome.bootstrap_complete = join.complete
+            outcome.bootstrap_bodies_unavailable = len(
+                join.bodies_unavailable
+            )
+            if join.complete:
+                runner.schedule.add(join.node_id)
+        block_hashes = report.block_hashes + report2.block_hashes
+        node_ids = sorted(deployment.nodes)
+        for _ in range(config.queries):
+            requester = rng.choice(node_ids)
+            block_hash = rng.choice(block_hashes)
+            record = deployment.retrieve_block(requester, block_hash)
+            deployment.run()
+            outcome.queries_attempted += 1
+            if record.completed_at is not None:
+                outcome.queries_completed += 1
+            if record.degraded:
+                outcome.queries_degraded += 1
 
     # Phase 6: audit.
     for view in deployment.clusters.views():
@@ -226,6 +258,7 @@ def run_chaos(
     outcome.degraded = dict(stats.degraded)
     outcome.virtual_seconds = deployment.network.now
     outcome.events_processed = deployment.network.clock.processed
+    outcome.latency_percentiles = summarize(tracer).latency_percentiles()
     return outcome
 
 

@@ -33,10 +33,12 @@ from dataclasses import dataclass, fields
 from typing import TYPE_CHECKING, Iterable, Sequence
 
 from repro.errors import ConfigurationError
+from repro.obs.tracer import FAULTS_TRACK, active_tracer
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.net.message import Message
     from repro.net.network import Network
+    from repro.obs.tracer import Tracer
 
 
 @dataclass(frozen=True)
@@ -238,9 +240,26 @@ class FaultInjector:
         self._stalled: set[int] = set()
         self._partitions: list[PartitionWindow] = list(plan.partitions)
         self._crashed: set[int] = set()
+        # Injectors built inside an active tracing scope self-attach;
+        # install_tracing() also attaches to pre-existing injectors.
+        self._tracer: "Tracer | None" = active_tracer()
         for event in plan.outages:
             at = max(event.at, network.clock.now)
             network.clock.schedule_at(at, self._apply_outage, event)
+
+    # ------------------------------------------------------- instrumentation
+    def attach_tracer(self, tracer: "Tracer | None") -> None:
+        """Mirror fault decisions into a tracer (``None`` detaches)."""
+        self._tracer = tracer
+
+    def _trace(self, name: str, args: dict | None = None) -> None:
+        self._tracer.instant(
+            name,
+            FAULTS_TRACK,
+            ts=self.network.clock.now,
+            category="fault",
+            args=args,
+        )
 
     # ------------------------------------------------------------ liveness
     def is_stalled(self, node_id: int) -> bool:
@@ -256,11 +275,15 @@ class FaultInjector:
         self.network.set_online(node_id, False)
         self._crashed.add(node_id)
         self.stats.crashes += 1
+        if self._tracer is not None:
+            self._trace("crash", {"node": node_id})
 
     def stall(self, node_id: int) -> None:
         """Stall a node now: it stays registered but all its traffic drops."""
         self._stalled.add(node_id)
         self.stats.stalls += 1
+        if self._tracer is not None:
+            self._trace("stall", {"node": node_id})
 
     def recover(self, node_id: int) -> None:
         """Bring a crashed or stalled node back."""
@@ -269,10 +292,21 @@ class FaultInjector:
             self._crashed.discard(node_id)
         self._stalled.discard(node_id)
         self.stats.recoveries += 1
+        if self._tracer is not None:
+            self._trace("recover", {"node": node_id})
 
     def partition(self, window: PartitionWindow) -> None:
         """Add a partition window at runtime (tests and chaos drivers)."""
         self._partitions.append(window)
+        if self._tracer is not None:
+            self._trace(
+                "partition",
+                {
+                    "side_a": sorted(window.side_a),
+                    "side_b_size": len(window.side_b),
+                    "until": window.end,
+                },
+            )
 
     def heal(self) -> None:
         """End every fault source: recover nodes, clear stalls, rejoin cuts.
@@ -310,27 +344,47 @@ class FaultInjector:
         sender, recipient = message.sender, message.recipient
         if sender in self._stalled or recipient in self._stalled:
             self.stats.stall_dropped += 1
+            self._trace_fault("stall_drop", message, now)
             return 0, 0.0
         for window in self._partitions:
             if window.severs(sender, recipient, now):
                 self.stats.partition_dropped += 1
+                self._trace_fault("partition_drop", message, now)
                 return 0, 0.0
         config = self.plan.config
         if config.drop_rate or config.duplicate_rate or config.delay_rate:
             draw = self._rng.random()
             if draw < config.drop_rate:
                 self.stats.dropped += 1
+                self._trace_fault("drop", message, now)
                 return 0, 0.0
             if draw < config.drop_rate + config.duplicate_rate:
                 self.stats.duplicated += 1
+                self._trace_fault("duplicate", message, now)
                 return 2, 0.0
             if (
                 draw
                 < config.drop_rate + config.duplicate_rate + config.delay_rate
             ):
                 self.stats.delayed += 1
+                self._trace_fault("delay", message, now)
                 return 1, config.delay_seconds
         return 1, 0.0
+
+    def _trace_fault(self, name: str, message: "Message", now: float) -> None:
+        if self._tracer is None:
+            return
+        self._tracer.instant(
+            name,
+            FAULTS_TRACK,
+            ts=now,
+            category="fault",
+            args={
+                "kind": message.kind.value,
+                "from": message.sender,
+                "to": message.recipient,
+            },
+        )
 
 
 def live_members(network: "Network", members: Iterable[int]) -> list[int]:

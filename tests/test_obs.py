@@ -1,0 +1,469 @@
+"""Tests for the structured tracing subsystem (:mod:`repro.obs`).
+
+Covers the acceptance surface of the observability PR: ring-buffer
+bounding and eviction, the disabled-path no-op contract, span nesting
+across simclock callbacks, fault/retry event capture under a seeded
+fault plan, Chrome trace-event export + schema validation (one track
+per node), and — the load-bearing guarantee — that simulated metrics
+stay byte-identical with tracing on.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.profile import BenchProfile
+from repro.bench.workload import BenchWorkload, simulated_metrics
+from repro.core.config import ICIConfig
+from repro.core.icistrategy import ICIDeployment
+from repro.errors import ObservabilityError
+from repro.net.simclock import SimClock
+from repro.obs.export import (
+    to_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.hooks import TracingObserver
+from repro.obs.summary import TIMELINE_BUCKETS, percentile, summarize
+from repro.obs.tracer import (
+    CLOCK_TRACK,
+    FAULTS_TRACK,
+    PHASE_TRACK,
+    Tracer,
+    active_tracer,
+    node_track,
+    tracing,
+)
+from repro.sim.chaos import ChaosConfig, run_chaos
+from repro.sim.runner import ScenarioRunner
+
+from tests.conftest import TEST_LIMITS
+
+TRACK = ("sim", "test")
+
+
+def bound_tracer(**kwargs) -> Tracer:
+    """A tracer with a fresh clock already bound (ts-less calls work)."""
+    tracer = Tracer(**kwargs)
+    tracer.bind_clock(SimClock())
+    return tracer
+
+
+def ici_deployment(n_nodes: int = 12, **kwargs) -> ICIDeployment:
+    kwargs.setdefault("n_clusters", 3)
+    kwargs.setdefault("replication", 1)
+    kwargs.setdefault("limits", TEST_LIMITS)
+    return ICIDeployment(n_nodes, config=ICIConfig(**kwargs))
+
+
+def traced_run(tracer: Tracer | None = None, blocks: int = 3):
+    """Stream a few blocks through an ICI deployment under tracing."""
+    tracer = tracer or Tracer()
+    with tracing(tracer):
+        deployment = ici_deployment()
+        runner = ScenarioRunner(deployment, limits=TEST_LIMITS)
+        runner.produce_blocks(blocks, txs_per_block=2)
+    return tracer, deployment
+
+
+class TestRingBuffer:
+    def test_bounded_with_oldest_evicted_first(self):
+        tracer = bound_tracer(capacity=10)
+        for index in range(25):
+            tracer.instant(f"e{index}", TRACK, ts=float(index))
+        assert len(tracer) == 10
+        assert tracer.recorded == 25
+        assert tracer.evicted == 15
+        names = [event.name for event in tracer.events()]
+        assert names == [f"e{i}" for i in range(15, 25)]
+
+    def test_under_capacity_evicts_nothing(self):
+        tracer = bound_tracer(capacity=100)
+        for index in range(5):
+            tracer.instant("e", TRACK, ts=float(index))
+        assert tracer.evicted == 0 and len(tracer) == 5
+
+    def test_rejects_degenerate_capacity(self):
+        with pytest.raises(ObservabilityError):
+            Tracer(capacity=0)
+
+    def test_clear_keeps_the_counters(self):
+        tracer = bound_tracer(capacity=4)
+        for index in range(6):
+            tracer.instant("e", TRACK, ts=float(index))
+        tracer.clear()
+        assert len(tracer) == 0
+        assert tracer.recorded == 6
+
+
+class TestDisabledTracer:
+    def test_record_methods_are_no_ops(self):
+        tracer = Tracer(enabled=False)  # note: no clock bound either
+        tracer.instant("a", TRACK)
+        tracer.complete("b", TRACK, 0.0, 1.0)
+        tracer.callback_event(len, 0.0, 0.001)
+        with tracer.span("c"):
+            pass
+        assert len(tracer) == 0 and tracer.recorded == 0
+
+    def test_disabled_span_reuses_one_null_context(self):
+        tracer = Tracer(enabled=False)
+        assert tracer.span("a") is tracer.span("b")
+
+    def test_enabled_tracer_without_clock_demands_explicit_ts(self):
+        tracer = Tracer()
+        tracer.instant("ok", TRACK, ts=1.0)
+        with pytest.raises(ObservabilityError):
+            tracer.instant("no-clock", TRACK)
+
+
+class TestActiveTracer:
+    def test_tracing_scopes_the_active_tracer(self):
+        assert active_tracer() is None
+        tracer = Tracer()
+        with tracing(tracer):
+            assert active_tracer() is tracer
+        assert active_tracer() is None
+
+    def test_two_active_tracers_conflict(self):
+        with tracing(Tracer()):
+            with pytest.raises(ObservabilityError):
+                with tracing(Tracer()):
+                    pass  # pragma: no cover
+        assert active_tracer() is None
+
+    def test_deployments_self_attach_inside_the_scope(self):
+        tracer = Tracer()
+        with tracing(tracer):
+            traced = ici_deployment()
+        untraced = ici_deployment()
+        assert any(
+            isinstance(obs, TracingObserver)
+            for obs in traced.router._observers
+        )
+        assert not any(
+            isinstance(obs, TracingObserver)
+            for obs in untraced.router._observers
+        )
+
+
+class TestSpans:
+    def test_nested_spans_record_innermost_first(self):
+        clock = SimClock()
+        tracer = Tracer(clock=clock)
+        with tracer.span("outer"):
+            clock.schedule(1.0, lambda: None)
+            clock.run()
+            with tracer.span("inner"):
+                clock.schedule(2.0, lambda: None)
+                clock.run()
+        inner, outer = tracer.events()
+        assert (inner.name, outer.name) == ("inner", "outer")
+        assert inner.track == outer.track == PHASE_TRACK
+        assert inner.ts == 1.0 and inner.dur == 2.0
+        assert outer.ts == 0.0 and outer.dur == 3.0
+        assert outer.args["wall_us"] >= inner.args["wall_us"]
+
+    def test_spans_survive_simclock_callbacks(self):
+        """A span opened around clock.run() covers callback activity."""
+        clock = SimClock()
+        tracer = Tracer(clock=clock)
+        clock.attach_tracer(tracer)
+
+        def tick(depth: int) -> None:
+            if depth:
+                clock.schedule(0.5, tick, depth - 1)
+
+        with tracer.span("drive"):
+            clock.schedule(0.5, tick, 2)
+            clock.run()
+        spans = [e for e in tracer.events() if e.track == PHASE_TRACK]
+        callbacks = [e for e in tracer.events() if e.track == CLOCK_TRACK]
+        (drive,) = spans
+        assert drive.ts == 0.0 and drive.dur == 1.5
+        assert len(callbacks) == 3
+        assert all(c.category == "callback" for c in callbacks)
+        assert all("tick" in c.name for c in callbacks)
+        assert all(c.args["wall_us"] >= 0 for c in callbacks)
+        # every callback executed inside the drive span's window
+        assert all(drive.ts <= c.ts <= drive.ts + drive.dur
+                   for c in callbacks)
+
+
+class TestTracedDeployment:
+    def test_queue_latency_spans_from_send_to_deliver(self):
+        tracer, _ = traced_run()
+        delivers = [
+            e for e in tracer.events()
+            if e.category == "deliver" and e.phase == "X"
+        ]
+        sends = [e for e in tracer.events() if e.category == "send"]
+        assert sends and delivers
+        assert all(e.dur > 0 for e in delivers)
+        assert all(e.track[0] == "node" for e in sends + delivers)
+        assert all(e.args["bytes"] > 0 for e in delivers)
+
+    def test_finalize_instants_mark_consensus(self):
+        tracer, _ = traced_run()
+        finals = [
+            e for e in tracer.events() if e.category == "finalize"
+        ]
+        assert finals
+        assert all(e.args["accepted"] for e in finals)
+
+    def test_simulated_metrics_identical_with_tracing_on(self):
+        """The PR's acceptance pin: tracing must not move the simulation."""
+
+        def run_once(trace: bool) -> dict:
+            if trace:
+                tracer = Tracer(trace_callbacks=True)
+                with tracing(tracer):
+                    deployment = ici_deployment()
+                    runner = ScenarioRunner(deployment, limits=TEST_LIMITS)
+                    runner.produce_blocks(3, txs_per_block=2)
+            else:
+                deployment = ici_deployment()
+                runner = ScenarioRunner(deployment, limits=TEST_LIMITS)
+                runner.produce_blocks(3, txs_per_block=2)
+            deployment.join_new_node()
+            deployment.run()
+            return simulated_metrics(deployment)
+
+        plain = run_once(trace=False)
+        traced = run_once(trace=True)
+        assert json.dumps(plain, sort_keys=True) == json.dumps(
+            traced, sort_keys=True
+        )
+
+
+class TestFaultAndRetryCapture:
+    @pytest.fixture(scope="class")
+    def lossy(self):
+        tracer = Tracer()
+        outcome = run_chaos(
+            ChaosConfig(
+                seed=11, n_blocks=4, queries=4, drop_rate=0.3, crash_count=1
+            ),
+            limits=TEST_LIMITS,
+            tracer=tracer,
+        )
+        return tracer, outcome
+
+    def test_fault_events_match_the_injector_stats(self, lossy):
+        tracer, outcome = lossy
+        faults = [e for e in tracer.events() if e.track == FAULTS_TRACK]
+        by_name: dict[str, int] = {}
+        for event in faults:
+            by_name[event.name] = by_name.get(event.name, 0) + 1
+        assert by_name.get("drop", 0) == outcome.fault_stats["dropped"]
+        assert by_name.get("crash", 0) == outcome.fault_stats["crashes"]
+        assert (
+            by_name.get("recover", 0) == outcome.fault_stats["recoveries"]
+        )
+        dropped = [e for e in faults if e.name == "drop"]
+        assert all(e.args["kind"] for e in dropped)
+
+    def test_retry_and_timeout_events_flow_through(self, lossy):
+        tracer, outcome = lossy
+        retries = [e for e in tracer.events() if e.category == "retry"]
+        timeouts = [e for e in tracer.events() if e.category == "timeout"]
+        assert len(retries) == sum(outcome.retries.values())
+        assert len(timeouts) == sum(outcome.timeouts.values())
+
+    def test_phase_spans_tell_the_chaos_story(self, lossy):
+        tracer, _ = lossy
+        phases = {
+            e.name for e in tracer.events() if e.track == PHASE_TRACK
+        }
+        assert {"produce:degraded", "heal:reconcile"} <= phases
+
+    def test_outcome_carries_latency_percentiles(self, lossy):
+        _, outcome = lossy
+        assert outcome.latency_percentiles
+        for stats in outcome.latency_percentiles.values():
+            assert stats["p50"] <= stats["p95"] <= stats["p99"]
+            assert stats["p99"] <= stats["max"]
+
+
+class TestChromeExport:
+    def test_export_validates_with_one_track_per_node(self):
+        tracer, deployment = traced_run()
+        payload = to_chrome_trace(tracer)
+        assert validate_chrome_trace(payload) == []
+        threads = [
+            e
+            for e in payload["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        ]
+        node_tids = {
+            e["tid"] for e in threads if e["args"]["name"].startswith("node ")
+        }
+        assert node_tids == set(deployment.nodes)
+
+    def test_validator_flags_broken_documents(self):
+        assert validate_chrome_trace([]) == ["payload is not a JSON object"]
+        assert validate_chrome_trace({"traceEvents": []}) == [
+            "traceEvents must be a non-empty list"
+        ]
+        problems = validate_chrome_trace(
+            {
+                "traceEvents": [
+                    {"ph": "Q", "pid": 1, "tid": 1, "ts": 0},
+                    {"name": "x", "ph": "X", "pid": 1, "tid": 1, "ts": 0},
+                ]
+            }
+        )
+        assert any("ph" in p for p in problems)
+        assert any("dur" in p for p in problems)
+        assert any("process_name" in p for p in problems)
+
+    def test_write_round_trips_and_jsonl_keeps_fidelity(self, tmp_path):
+        tracer, _ = traced_run()
+        chrome = write_chrome_trace(tracer, tmp_path / "t.json")
+        payload = json.loads(chrome.read_text())
+        assert validate_chrome_trace(payload) == []
+        jsonl = write_jsonl(tracer, tmp_path / "t.jsonl")
+        rows = [
+            json.loads(line)
+            for line in jsonl.read_text().splitlines()
+        ]
+        assert len(rows) == len(tracer)
+        assert all("wall" in row for row in rows)
+
+    def test_multi_deployment_traces_keep_labels_apart(self):
+        tracer = Tracer()
+        with tracing(tracer):
+            for deployment in (ici_deployment(9), ici_deployment(9)):
+                runner = ScenarioRunner(deployment, limits=TEST_LIMITS)
+                runner.produce_blocks(2, txs_per_block=2)
+        payload = to_chrome_trace(tracer)
+        assert validate_chrome_trace(payload) == []
+        names = {
+            e["args"]["name"]
+            for e in payload["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert any(n.startswith("ICIDeployment node") for n in names)
+        assert any(n.startswith("ICIDeployment#2 node") for n in names)
+
+
+class TestSummary:
+    def test_percentile_is_nearest_rank(self):
+        values = [float(v) for v in range(1, 101)]
+        assert percentile(values, 0.50) == 50.0
+        assert percentile(values, 0.95) == 95.0
+        assert percentile(values, 0.99) == 99.0
+        assert percentile([7.0], 0.99) == 7.0
+        with pytest.raises(ValueError):
+            percentile([], 0.5)
+
+    def test_summarize_counts_traffic_and_phases(self):
+        tracer, deployment = traced_run()
+        summary = summarize(tracer)
+        assert summary.events == len(tracer)
+        assert summary.span_seconds > 0
+        sends = sum(n.sends for n in summary.nodes.values())
+        recvs = sum(n.receives for n in summary.nodes.values())
+        assert sends == len(
+            [e for e in tracer.events() if e.category == "send"]
+        )
+        assert recvs == len(
+            [e for e in tracer.events() if e.category == "deliver"]
+        )
+        assert set(summary.nodes) <= {
+            ("ICIDeployment", node_id) for node_id in deployment.nodes
+        }
+        for node in summary.nodes.values():
+            assert len(node.timeline) == TIMELINE_BUCKETS
+            assert sum(node.timeline) == node.sends + node.receives
+
+    def test_latency_percentiles_are_ordered_per_kind(self):
+        tracer, _ = traced_run()
+        table = summarize(tracer).latency_percentiles()
+        assert table
+        assert list(table) == sorted(table)
+        measured = [s for s in table.values() if s["count"]]
+        assert measured
+        for stats in measured:
+            assert 0 < stats["p50"] <= stats["p95"] <= stats["p99"]
+
+    def test_summarize_accepts_raw_event_lists(self):
+        tracer = bound_tracer()
+        tracer.instant(
+            "block_body",
+            node_track(3),
+            ts=1.0,
+            category="send",
+            args={"to": 4, "bytes": 100},
+        )
+        summary = summarize(tracer.events())
+        assert summary.nodes[("", 3)].sends == 1
+        assert summary.evicted == 0
+
+
+class TestBenchTracing:
+    def test_runner_writes_one_trace_per_workload(self, tmp_path):
+        from repro.bench.runner import BenchmarkRunner
+
+        def kernel(profile):
+            deployment = ici_deployment(9)
+            runner = ScenarioRunner(deployment, limits=TEST_LIMITS)
+            runner.produce_blocks(
+                profile.pick(2, 4), txs_per_block=2
+            )
+            return [("ici", deployment)]
+
+        workload = BenchWorkload(
+            bench_id="e99", title="obs test kernel", run=kernel
+        )
+        profile = BenchProfile(
+            name="quick", warmup=0, repetitions=1, time_budget_seconds=60
+        )
+        runner = BenchmarkRunner(
+            [workload], profile, trace_dir=tmp_path
+        )
+        payload = runner.run()
+        trace_path = tmp_path / "TRACE_e99.json"
+        assert trace_path.exists()
+        assert validate_chrome_trace(
+            json.loads(trace_path.read_text())
+        ) == []
+        assert payload["benchmarks"]["e99"]["simulated"]
+
+
+class TestTraceCli:
+    def test_trace_command_exports_valid_chrome_json(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "trace.json"
+        code = main(
+            [
+                "trace",
+                "ici",
+                "--nodes", "10",
+                "--groups", "2",
+                "--blocks", "2",
+                "--txs", "2",
+                "--queries", "2",
+                "--out", str(out),
+                "--summary", str(tmp_path / "summary.md"),
+                "--jsonl", str(tmp_path / "trace.jsonl"),
+            ]
+        )
+        assert code == 0
+        assert validate_chrome_trace(json.loads(out.read_text())) == []
+        summary = (tmp_path / "summary.md").read_text()
+        assert "## Delivery latency by message kind" in summary
+        assert "## Per-node timelines" in summary
+        assert (tmp_path / "trace.jsonl").exists()
+        assert "trace written" in capsys.readouterr().out
+
+    def test_trace_chaos_requires_ici(self, capsys):
+        from repro.cli import main
+
+        code = main(["trace", "full", "--chaos"])
+        assert code == 2
+        assert "ici" in capsys.readouterr().err

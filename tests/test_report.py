@@ -1,4 +1,4 @@
-"""Tests for the markdown deployment report generator."""
+"""Tests for the markdown report generators (deployment/bench/chaos/trace)."""
 
 from __future__ import annotations
 
@@ -100,3 +100,127 @@ class TestReportSections:
         for line in report.splitlines():
             if line.startswith("|"):
                 assert line.count("|") >= 3
+
+
+def bench_payload() -> dict:
+    """A minimal, schema-shaped benchmark payload for rendering tests."""
+    from repro.bench.schema import wall_stats
+
+    return {
+        "schema": "repro-bench",
+        "schema_version": 1,
+        "created_at": "2026-01-01T00:00:00+0000",
+        "profile": "quick",
+        "host": {"python": "3.11", "platform": "test"},
+        "calibration": {"wall_seconds": 0.05, "rounds": 200_000},
+        "benchmarks": {
+            "e1": {
+                "title": "storage growth",
+                "wall_seconds": wall_stats([0.5, 0.6]),
+                "peak_rss_kb": 2048,
+                "simulated": {
+                    "ici": {"virtual_seconds": 12.0, "messages": 345},
+                },
+            }
+        },
+    }
+
+
+class TestBenchSummary:
+    def test_renders_the_suite_table(self):
+        from repro.analysis.report import render_bench_summary
+
+        summary = render_bench_summary(bench_payload())
+        assert summary.startswith("# Benchmark run (quick profile)")
+        assert "calibration kernel: 0.0500s" in summary
+        assert "| e1 | storage growth | 0.500 |" in summary
+        assert "345" in summary
+        assert "## Baseline comparison" not in summary
+
+    def test_appends_the_baseline_verdict(self):
+        from repro.analysis.report import render_bench_summary
+        from repro.bench.baseline import compare_to_baseline
+
+        payload = bench_payload()
+        comparison = compare_to_baseline(payload, payload)
+        summary = render_bench_summary(payload, comparison)
+        assert "## Baseline comparison" in summary
+        assert "RESULT" in summary
+
+
+class TestChaosSummary:
+    def test_summary_includes_latency_percentiles(self):
+        from repro.analysis.report import render_chaos_summary
+        from repro.sim.chaos import ChaosConfig, run_chaos
+
+        outcome = run_chaos(
+            ChaosConfig(seed=3, n_blocks=4, queries=4, drop_rate=0.2),
+            limits=TEST_LIMITS,
+        )
+        summary = render_chaos_summary(outcome)
+        assert "## Delivery latency (virtual time)" in summary
+        assert "| message kind | delivered | p50 | p95 | p99 | max |" in (
+            summary
+        )
+        assert "block_body" in summary
+
+    def test_tolerates_outcomes_without_percentiles(self):
+        """Older pickled/stubbed outcomes may lack the new field."""
+        from types import SimpleNamespace
+
+        from repro.analysis.report import render_chaos_summary
+        from repro.sim.chaos import ChaosConfig, run_chaos
+
+        outcome = run_chaos(
+            ChaosConfig(seed=3, n_blocks=4, queries=0), limits=TEST_LIMITS
+        )
+        stub = SimpleNamespace(
+            **{
+                name: getattr(outcome, name)
+                for name in dir(outcome)
+                if not name.startswith("_")
+                and name != "latency_percentiles"
+            }
+        )
+        summary = render_chaos_summary(stub)
+        assert "## Delivery latency (virtual time)" not in summary
+        assert "cluster integrity" in summary
+
+
+class TestTraceSummaryReport:
+    def test_renders_latency_timelines_and_phases(self):
+        from repro.analysis.report import render_trace_summary
+        from repro.obs.summary import summarize
+        from repro.obs.tracer import Tracer, tracing
+
+        tracer = Tracer()
+        with tracing(tracer):
+            deployment, _ = ici_deployment()
+            with tracer.span("stream"):
+                deployment.run()
+        summary = render_trace_summary(summarize(tracer), title="T")
+        assert summary.startswith("# T")
+        assert "## Delivery latency by message kind (virtual time)" in (
+            summary
+        )
+        assert "## Per-node timelines" in summary
+        assert "## Phases" in summary
+        assert "| stream |" in summary
+
+    def test_single_deployment_nodes_sort_numerically(self):
+        from repro.analysis.report import render_trace_summary
+        from repro.obs.summary import summarize
+        from repro.obs.tracer import Tracer, tracing
+
+        tracer = Tracer()
+        with tracing(tracer):
+            deployment, _ = ici_deployment()
+            deployment.run()
+        summary = render_trace_summary(summarize(tracer))
+        rows = [
+            line.split("|")[1].strip()
+            for line in summary.splitlines()
+            if line.startswith("| ") and line.split("|")[1].strip().isdigit()
+        ]
+        assert rows == sorted(rows, key=int)
+        assert len(rows) > 2
