@@ -356,6 +356,150 @@ def render_chaos_summary(outcome) -> str:
     return "\n".join(lines) + "\n"
 
 
+def render_endurance_summary(outcome) -> str:
+    """Markdown audit of one :func:`repro.sim.chaos.run_endurance`."""
+    config = outcome.config
+    verdict = "restored" if outcome.integrity_restored else "VIOLATED"
+    floor = "met" if outcome.replica_floor_met else "NOT met"
+    repair = outcome.repair
+    ttr = outcome.time_to_repair
+    lines = [
+        f"# Endurance run (seed {config.seed})",
+        "",
+        f"- nodes: {config.n_nodes} in {config.n_clusters} clusters, "
+        f"r={config.replication}",
+        f"- fault rates: drop {config.drop_rate:.0%}, "
+        f"duplicate {config.duplicate_rate:.0%}, "
+        f"delay {config.delay_rate:.0%} (+{config.delay_seconds:g}s)",
+        f"- churn: {outcome.joins} joins, {outcome.leaves} leaves, "
+        f"{outcome.churn_crashes} crashes "
+        f"({outcome.skipped_events} events skipped)",
+        "- outages: "
+        f"crashed {outcome.outage_crashed or 'none'}, "
+        f"partitioned {outcome.partitioned or 'none'}",
+        f"- blocks: {outcome.blocks_produced} produced; healing "
+        f"converged after {outcome.heal_rounds} sweep rounds",
+        f"- virtual time: {outcome.virtual_seconds:.1f}s over "
+        f"{outcome.events_processed} events",
+        f"- **cluster integrity: {verdict}** "
+        f"({sum(outcome.cluster_integrity.values())}"
+        f"/{len(outcome.cluster_integrity)} clusters hold the full "
+        f"ledger; replication floor {floor})",
+        "",
+        "## Anti-entropy repair",
+        "",
+        _md_table(
+            ["counter", "value"],
+            [
+                ("sweeps", repair.get("sweeps", 0)),
+                (
+                    "digests",
+                    f"{repair.get('digests_received', 0)}"
+                    f"/{repair.get('digests_requested', 0)} received "
+                    f"({repair.get('digest_failures', 0)} failed)",
+                ),
+                (
+                    "under-replication detected",
+                    repair.get("under_replicated", 0),
+                ),
+                (
+                    "repairs scheduled",
+                    repair.get("repairs_scheduled", 0),
+                ),
+                (
+                    "blocks re-replicated",
+                    f"{repair.get('blocks_re_replicated', 0)} "
+                    f"({repair.get('bytes_re_replicated', 0)} bytes)",
+                ),
+                (
+                    "repair attempts degraded",
+                    repair.get("repairs_degraded", 0),
+                ),
+                (
+                    "deferred by departures",
+                    outcome.deferred_blocks,
+                ),
+                ("unrecoverable", repair.get("unrecoverable", 0)),
+                (
+                    "time-to-repair p50/p95",
+                    f"{format_seconds(ttr.get('p50', 0.0))} / "
+                    f"{format_seconds(ttr.get('p95', 0.0))}"
+                    if ttr
+                    else "-",
+                ),
+            ],
+        ),
+        "",
+        "## Fault interception",
+        "",
+        _md_table(
+            ["fault", "count"],
+            sorted(outcome.fault_stats.items()),
+        ),
+        "",
+        "## Protocol recovery",
+        "",
+    ]
+    kinds = sorted(
+        set(outcome.retries) | set(outcome.timeouts) | set(outcome.degraded)
+    )
+    lines.append(
+        _md_table(
+            ["message kind", "retries", "timeouts", "degraded"],
+            [
+                (
+                    kind,
+                    outcome.retries.get(kind, 0),
+                    outcome.timeouts.get(kind, 0),
+                    outcome.degraded.get(kind, 0),
+                )
+                for kind in kinds
+            ]
+            or [("(none)", 0, 0, 0)],
+        )
+    )
+    if outcome.latency_percentiles:
+        lines += [
+            "",
+            "## Delivery latency (virtual time)",
+            "",
+            _md_table(
+                ["message kind", "delivered", "p50", "p95", "p99", "max"],
+                [
+                    (
+                        kind,
+                        entry.get("count", 0),
+                        format_seconds(entry.get("p50", 0.0)),
+                        format_seconds(entry.get("p95", 0.0)),
+                        format_seconds(entry.get("p99", 0.0)),
+                        format_seconds(entry.get("max", 0.0)),
+                    )
+                    for kind, entry in sorted(
+                        outcome.latency_percentiles.items()
+                    )
+                    if entry.get("count", 0)
+                ]
+                or [("(none)", 0, "-", "-", "-", "-")],
+            ),
+        ]
+    lines += [
+        "",
+        "## Exercised after heal",
+        "",
+        _md_table(
+            ["probe", "result"],
+            [
+                (
+                    "queries",
+                    f"{outcome.queries_completed}/{outcome.queries_attempted}"
+                    f" completed, {outcome.queries_degraded} degraded",
+                ),
+            ],
+        ),
+    ]
+    return "\n".join(lines) + "\n"
+
+
 #: Eight-level activity sparkline glyphs for node timelines.
 _SPARK_BLOCKS = "▁▂▃▄▅▆▇█"
 

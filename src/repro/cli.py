@@ -11,9 +11,14 @@ Commands:
   baseline (``--trace`` adds one traced pass per bench).
 * ``chaos``    — seeded fault-injection run with a markdown audit
   (``--trace`` exports the run's Chrome trace).
+* ``endurance`` — sustained churn under fault weather with the
+  anti-entropy repair engine sweeping; audits integrity + the replica
+  floor and reports the repair counters.
 * ``trace``    — record a structured trace of one scenario: Chrome
   trace-event JSON (Perfetto-loadable, one track per node), optional
-  JSONL stream, and a markdown latency/timeline summary.
+  JSONL stream, and a markdown latency/timeline summary.  ``repro trace
+  diff A.json B.json`` pinpoints the first divergent event between two
+  exported traces.
 """
 
 from __future__ import annotations
@@ -221,6 +226,88 @@ def build_parser() -> argparse.ArgumentParser:
         help="export the run's Chrome trace-event JSON to FILE",
     )
 
+    endurance = sub.add_parser(
+        "endurance",
+        help="sustained churn under fault weather with anti-entropy "
+        "repair; audits integrity and the replica floor",
+    )
+    endurance.add_argument("--seed", type=int, default=0)
+    endurance.add_argument("--nodes", type=int, default=24)
+    endurance.add_argument(
+        "--groups", type=int, default=3, help="clusters / committees"
+    )
+    endurance.add_argument(
+        "--replication", type=int, default=2, help="replicas per block"
+    )
+    endurance.add_argument("--blocks", type=int, default=12)
+    endurance.add_argument(
+        "--txs", type=int, default=2, help="txs per block"
+    )
+    endurance.add_argument(
+        "--drop-rate",
+        type=float,
+        default=0.2,
+        help="fraction of messages dropped (default 0.2)",
+    )
+    endurance.add_argument(
+        "--duplicate-rate",
+        type=float,
+        default=0.05,
+        help="fraction of messages delivered twice (default 0.05)",
+    )
+    endurance.add_argument(
+        "--delay-rate",
+        type=float,
+        default=0.05,
+        help="fraction of messages hit by a delay spike (default 0.05)",
+    )
+    endurance.add_argument(
+        "--join-rate",
+        type=float,
+        default=0.15,
+        help="expected joins per produced block (default 0.15)",
+    )
+    endurance.add_argument(
+        "--leave-rate",
+        type=float,
+        default=0.1,
+        help="expected graceful leaves per block (default 0.1)",
+    )
+    endurance.add_argument(
+        "--crash-rate",
+        type=float,
+        default=0.1,
+        help="expected churn crashes per block (default 0.1)",
+    )
+    endurance.add_argument(
+        "--crash-count",
+        type=int,
+        default=1,
+        help="extra outage crashes a third of the way in (default 1)",
+    )
+    endurance.add_argument(
+        "--no-partition",
+        action="store_false",
+        dest="partition",
+        help="skip the mid-run minority partition window",
+    )
+    endurance.add_argument(
+        "--cadence",
+        type=float,
+        default=5.0,
+        help="anti-entropy sweep interval, virtual seconds (default 5)",
+    )
+    endurance.add_argument(
+        "--report",
+        metavar="FILE",
+        help="write the markdown summary to FILE as well as stdout",
+    )
+    endurance.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="export the run's Chrome trace-event JSON to FILE",
+    )
+
     trace = sub.add_parser(
         "trace",
         help="record a structured trace of one scenario "
@@ -229,9 +316,16 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument(
         "scenario",
         nargs="?",
-        choices=("ici", "full", "rapidchain"),
+        choices=("ici", "full", "rapidchain", "diff"),
         default="ici",
-        help="strategy to deploy (default ici)",
+        help="strategy to deploy (default ici), or 'diff' to compare "
+        "two exported traces",
+    )
+    trace.add_argument(
+        "files",
+        nargs="*",
+        metavar="FILE",
+        help="with 'diff': the two Chrome trace JSON files to compare",
     )
     _common_args(trace)
     trace.add_argument(
@@ -568,9 +662,74 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if outcome.integrity_restored else 1
 
 
+def cmd_endurance(args: argparse.Namespace) -> int:
+    """``endurance``: churn × faults × anti-entropy, then audit."""
+    from repro.analysis.report import render_endurance_summary
+    from repro.sim.chaos import EnduranceConfig, run_endurance
+
+    config = EnduranceConfig(
+        seed=args.seed,
+        n_nodes=args.nodes,
+        n_clusters=args.groups,
+        replication=args.replication,
+        n_blocks=args.blocks,
+        txs_per_block=args.txs,
+        drop_rate=args.drop_rate,
+        duplicate_rate=args.duplicate_rate,
+        delay_rate=args.delay_rate,
+        join_rate=args.join_rate,
+        leave_rate=args.leave_rate,
+        crash_rate=args.crash_rate,
+        crash_count=args.crash_count,
+        partition=args.partition,
+        repair_cadence=args.cadence,
+    )
+    outcome = run_endurance(config)
+    summary = render_endurance_summary(outcome)
+    print(summary, end="")
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            handle.write(summary)
+        print(f"\nreport written to {args.report}", file=sys.stderr)
+    if args.trace and outcome.tracer is not None:
+        from repro.obs.export import write_chrome_trace
+
+        path = write_chrome_trace(
+            outcome.tracer, Path(args.trace), label="endurance"
+        )
+        print(
+            f"trace ({len(outcome.tracer)} events) written to {path}",
+            file=sys.stderr,
+        )
+    return 0 if outcome.integrity_restored else 1
+
+
+def _cmd_trace_diff(args: argparse.Namespace) -> int:
+    """``trace diff A.json B.json``: first divergent story event."""
+    from repro.obs.diff import diff_traces, render_divergence
+
+    if len(args.files) != 2:
+        print(
+            "trace diff needs exactly two trace files", file=sys.stderr
+        )
+        return 2
+    divergence = diff_traces(args.files[0], args.files[1])
+    print(render_divergence(divergence))
+    return 0 if divergence is None else 1
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     """``trace``: record one scenario under the tracer and export it."""
     import random
+
+    if args.scenario == "diff":
+        return _cmd_trace_diff(args)
+    if args.files:
+        print(
+            "positional FILE arguments only apply to 'trace diff'",
+            file=sys.stderr,
+        )
+        return 2
 
     from repro.analysis.report import render_trace_summary
     from repro.obs.export import (
@@ -666,6 +825,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "experiments": cmd_experiments,
         "bench": cmd_bench,
         "chaos": cmd_chaos,
+        "endurance": cmd_endurance,
         "trace": cmd_trace,
     }
     return handlers[args.command](args)

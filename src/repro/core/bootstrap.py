@@ -229,10 +229,14 @@ def _prune_displaced_holders(
             header, state.old_members, deployment.config.replication
         )
         for displaced in set(old_holders) - new_holders:
-            freed = deployment.nodes[displaced].unassign_body(
+            # The displaced holder may have departed (or crashed out of
+            # membership) while the bootstrap was in flight under churn.
+            holder = deployment.nodes.get(displaced)
+            if holder is None:
+                continue
+            state.report.migration_bytes_freed += holder.unassign_body(
                 header.block_hash
             )
-            state.report.migration_bytes_freed += freed
 
 
 def _apply_peer_migration(

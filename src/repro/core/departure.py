@@ -17,6 +17,15 @@ Two exits from a cluster:
 Both paths are message-driven: each new holder sends a batched
 ``SYNC_REQUEST("bodies", …)`` to its source and receives ``SYNC_BODIES``;
 responses route through the deployment's generic sync-session registry.
+
+Under a fault layer the request/response pair can be silently dropped, so
+each target's transfer additionally runs on the repair engine's
+:class:`~repro.protocols.reliability.RequestTracker`: a missed batch is
+re-requested on deadline, fails over to alternate live sources, and — if
+every retry is exhausted — the owed blocks are recorded in
+``report.deferred_blocks`` and the departure completes degraded instead
+of hanging; the anti-entropy sweep re-replicates the deferred blocks.
+On clean networks the historical fire-and-forget path runs unchanged.
 """
 
 from __future__ import annotations
@@ -47,6 +56,8 @@ class _RepairSession:
         self.report = report
         self.expected = expected  # target -> block hashes still owed
         self.prune_plan = prune_plan  # stale (holder, hash) post-repair
+        # target -> tracker request id (fault-layer deployments only).
+        self.request_ids: dict[int, int] = {}
 
     def on_bodies(
         self, node: ClusterNode, sender: int, blocks: Sequence
@@ -58,6 +69,7 @@ class _RepairSession:
         for block in blocks:
             if block.block_hash not in owed:
                 continue
+            _backfill_headers(self.deployment, node, block.header)
             node.assign_body(block)
             owed.discard(block.block_hash)
             self.report.blocks_transferred += 1
@@ -65,13 +77,41 @@ class _RepairSession:
         if not owed:
             del self.expected[node.node_id]
             self.deployment.sync.sessions.pop(node.node_id, None)
+            self._resolve_tracking(node.node_id)
         self._maybe_finish()
+
+    def on_degraded(self, target: int) -> None:
+        """Every retry for one target's batch was lost: finish degraded.
+
+        The owed blocks are deferred to the anti-entropy sweep rather than
+        hanging the departure; their stale copies are kept (not pruned)
+        because a stale replica may now be the only live copy.
+        """
+        owed = self.expected.pop(target, None)
+        self.deployment.sync.sessions.pop(target, None)
+        request_id = self.request_ids.pop(target, None)
+        if request_id is not None:
+            self.deployment.repair.release_request(request_id)
+        if owed:
+            self.report.deferred_blocks.extend(sorted(owed))
+        self._maybe_finish()
+
+    def _resolve_tracking(self, target: int) -> None:
+        request_id = self.request_ids.pop(target, None)
+        if request_id is None:
+            return
+        repair = self.deployment.repair
+        repair.tracker.resolve(request_id)
+        repair.release_request(request_id)
 
     def _maybe_finish(self) -> None:
         if self.expected or self.report.complete:
             return
         self.report.completed_at = self.deployment.network.now
+        deferred = set(self.report.deferred_blocks)
         for holder, block_hash in self.prune_plan:
+            if block_hash in deferred:
+                continue  # stale copy may be the last live replica
             node = self.deployment.nodes.get(holder)
             if node is not None:
                 node.unassign_body(block_hash)
@@ -152,14 +192,69 @@ def _begin(
     session = _RepairSession(deployment, report, expected, prune_plan)
     for target in expected:
         deployment.sync.sessions[target] = session.on_bodies
-    for (source, target), hashes in transfers.items():
-        deployment.nodes[target].send(
+    if deployment.network.faults is None:
+        # Clean network: the historical fire-and-forget batches (delivery
+        # is guaranteed, tracking would only add clock events).
+        for (source, target), hashes in transfers.items():
+            deployment.nodes[target].send(
+                MessageKind.SYNC_REQUEST,
+                source,
+                ("bodies", tuple(sorted(hashes))),
+                64 + 32 * len(hashes),
+            )
+        return report
+    for target in sorted(expected):
+        _track_transfer(deployment, session, transfers, target, new_members)
+    return report
+
+
+def _track_transfer(
+    deployment: "ICIDeployment",
+    session: _RepairSession,
+    transfers: dict[tuple[int, int], set[Hash32]],
+    target: int,
+    new_members: list[int],
+) -> None:
+    """Run one target's batch on tracker deadlines with source failover.
+
+    The plan leads with the planned sources for this target, then every
+    other live surviving member (any of them may hold a replica the
+    placement did not pick); each attempt re-requests whatever the target
+    is *still* owed, so partially-delivered batches shrink on retry and
+    duplicate bodies are absorbed idempotently by ``on_bodies``.
+    """
+    from repro.sim.faults import live_members
+
+    preferred = sorted(
+        {src for (src, tgt) in transfers if tgt == target}
+    )
+    alternates = [
+        m
+        for m in live_members(deployment.network, sorted(new_members))
+        if m != target and m not in preferred
+    ]
+    repair = deployment.repair
+    request_id = repair.allocate_request("sync_request")
+    session.request_ids[target] = request_id
+
+    def send(source: int, _request) -> None:
+        owed = session.expected.get(target)
+        requester = deployment.nodes.get(target)
+        if not owed or requester is None:
+            return
+        requester.send(
             MessageKind.SYNC_REQUEST,
             source,
-            ("bodies", tuple(sorted(hashes))),
-            64 + 32 * len(hashes),
+            ("bodies", tuple(sorted(owed))),
+            64 + 32 * len(owed),
         )
-    return report
+
+    repair.tracker.begin(
+        request_id,
+        preferred + alternates,
+        send,
+        on_degraded=lambda _request: session.on_degraded(target),
+    )
 
 
 def _plan(
@@ -264,6 +359,28 @@ def _pick_source(
     survivors = [h for h in old_holders if h != leaving]
     live = live_members(deployment.network, survivors + [leaving])
     return live[0] if live else None
+
+
+def _backfill_headers(
+    deployment: "ICIDeployment", node: ClusterNode, header
+) -> None:
+    """Index the ancestor headers a lagging repair target is missing.
+
+    A target that sat behind a partition may lack the chain above its
+    last-seen height; ``add_body`` refuses a body whose parent header is
+    unknown.  The canonical store supplies the ancestry (no-op on nodes
+    that followed gossip normally).
+    """
+    store = deployment.ledger.store
+    missing = []
+    current = header
+    while not node.store.has_header(current.block_hash):
+        missing.append(current)
+        if current.is_genesis:
+            break
+        current = store.header(current.prev_hash)
+    for ancestor in reversed(missing):
+        node.store.add_header(ancestor)
 
 
 def _remove_member(deployment: "ICIDeployment", node_id: int) -> None:

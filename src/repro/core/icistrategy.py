@@ -140,12 +140,16 @@ class ICIDeployment(StorageDeployment):
         from repro.protocols.dissemination import DisseminationEngine
         from repro.protocols.intracluster import IntraClusterEngine
         from repro.protocols.query import QueryEngine
+        from repro.protocols.repair import AntiEntropyEngine
         from repro.protocols.sync import SyncEngine
 
         self.dissemination = self.install_engine(DisseminationEngine(self))
         self.verification = self.install_engine(IntraClusterEngine(self))
         self.query = self.install_engine(QueryEngine(self))
         self.sync = self.install_engine(SyncEngine(self))
+        # Dormant until .start(): registers handlers only, schedules
+        # nothing, so fault-free metrics stay byte-identical to baseline.
+        self.repair = self.install_engine(AntiEntropyEngine(self))
 
         if self.config.parity_group_size:
             from repro.core.parity import ParityManager

@@ -91,6 +91,10 @@ class DepartureReport:
     blocks_transferred: int = 0
     bytes_moved: int = 0
     lost_blocks: list[Hash32] = field(default_factory=list)
+    # Blocks whose tracked repair transfer exhausted every retry (fault
+    # weather): the departure completes without them and the anti-entropy
+    # sweep re-replicates them afterwards.
+    deferred_blocks: list[Hash32] = field(default_factory=list)
 
     @property
     def duration(self) -> float | None:

@@ -53,6 +53,12 @@ class MessageKind(Enum):
     CLUSTER_HELLO = "cluster_hello"        # membership announcement
     CLUSTER_ASSIGN = "cluster_assign"      # placement table update
 
+    # Anti-entropy repair (periodic coverage reconciliation)
+    REPAIR_DIGEST_REQUEST = "repair_digest_request"  # ask for coverage
+    REPAIR_DIGEST = "repair_digest"        # compact held-body summary
+    REPAIR_REQUEST = "repair_request"      # re-replication body pull
+    REPAIR_BODIES = "repair_bodies"        # re-replication body (or miss)
+
     # Generic control (tests, ping-style probes)
     CONTROL = "control"
 

@@ -1,0 +1,181 @@
+"""Trace diffing: localize where two runs' virtual stories diverge.
+
+Two same-seed runs must export byte-identical *virtual* stories —
+timestamps, event order, names, args — so when a determinism pin fails
+("signatures differ"), the question is **where** the streams first split.
+:func:`diff_traces` walks two Chrome trace documents event-by-event
+(metadata rows aside, which carry no story) and reports the first
+divergent event: its index, virtual timestamp, track (resolved to the
+human thread name), event name, and the differing fields.
+
+Wall-clock residue never participates: the Chrome export carries only
+virtual timestamps, and span ``args`` wall costs (``wall_us``) are
+explicitly masked, so identical simulations diff clean across machines
+of different speeds.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.errors import ObservabilityError
+
+#: Event fields compared, in report order.
+COMPARED_FIELDS = ("ts", "ph", "pid", "tid", "name", "cat", "dur", "args")
+
+#: Args keys carrying wall-clock residue, masked before comparison.
+_WALL_KEYS = frozenset({"wall_us"})
+
+
+@dataclass(frozen=True)
+class TraceDivergence:
+    """The first point where two traces tell different stories.
+
+    Attributes:
+        index: position in the story-event stream (metadata excluded).
+        fields: the compared fields that differ (subset of
+            :data:`COMPARED_FIELDS`), or empty for a length mismatch.
+        a: the event from the first trace (``None`` past its end).
+        b: the event from the second trace (``None`` past its end).
+        a_label: resolved ``process/thread`` label for ``a``.
+        b_label: resolved ``process/thread`` label for ``b``.
+    """
+
+    index: int
+    fields: tuple[str, ...]
+    a: dict | None
+    b: dict | None
+    a_label: str
+    b_label: str
+
+
+def _load_payload(source: dict | str | Path) -> dict:
+    if isinstance(source, dict):
+        return source
+    path = Path(source)
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ObservabilityError(f"cannot read trace {path}: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ObservabilityError(f"{path} is not a Chrome trace object")
+    return payload
+
+
+def _split(payload: dict) -> tuple[list[dict], dict[tuple[int, int], str]]:
+    """Story events (non-metadata, stable order) + thread-name lookup."""
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        raise ObservabilityError("traceEvents must be a list")
+    story: list[dict] = []
+    processes: dict[int, str] = {}
+    threads: dict[tuple[int, int], str] = {}
+    for event in events:
+        if not isinstance(event, dict):
+            continue
+        if event.get("ph") == "M":
+            args = event.get("args") or {}
+            if event.get("name") == "process_name":
+                processes[event.get("pid", 0)] = str(args.get("name", ""))
+            elif event.get("name") == "thread_name":
+                key = (event.get("pid", 0), event.get("tid", 0))
+                threads[key] = str(args.get("name", ""))
+            continue
+        story.append(event)
+    labels = {
+        key: f"{processes.get(key[0], f'pid {key[0]}')}/{name}"
+        for key, name in threads.items()
+    }
+    return story, labels
+
+
+def _label_of(
+    event: dict | None, labels: dict[tuple[int, int], str]
+) -> str:
+    if event is None:
+        return "<end of trace>"
+    key = (event.get("pid", 0), event.get("tid", 0))
+    return labels.get(key, f"pid {key[0]}/tid {key[1]}")
+
+
+def _masked_args(event: dict) -> Any:
+    args = event.get("args")
+    if not isinstance(args, dict):
+        return args
+    return {k: v for k, v in args.items() if k not in _WALL_KEYS}
+
+
+def _field_of(event: dict, field: str) -> Any:
+    if field == "args":
+        return _masked_args(event)
+    return event.get(field)
+
+
+def diff_traces(
+    a: dict | str | Path, b: dict | str | Path
+) -> TraceDivergence | None:
+    """First divergent story event between two Chrome traces.
+
+    Accepts payload dicts or file paths.  Returns ``None`` when the
+    stories are identical (metadata and wall-clock residue ignored).
+    """
+    payload_a, payload_b = _load_payload(a), _load_payload(b)
+    story_a, labels_a = _split(payload_a)
+    story_b, labels_b = _split(payload_b)
+    for index in range(max(len(story_a), len(story_b))):
+        event_a = story_a[index] if index < len(story_a) else None
+        event_b = story_b[index] if index < len(story_b) else None
+        if event_a is None or event_b is None:
+            return TraceDivergence(
+                index=index,
+                fields=(),
+                a=event_a,
+                b=event_b,
+                a_label=_label_of(event_a, labels_a),
+                b_label=_label_of(event_b, labels_b),
+            )
+        differing = tuple(
+            field
+            for field in COMPARED_FIELDS
+            if _field_of(event_a, field) != _field_of(event_b, field)
+        )
+        if differing:
+            return TraceDivergence(
+                index=index,
+                fields=differing,
+                a=event_a,
+                b=event_b,
+                a_label=_label_of(event_a, labels_a),
+                b_label=_label_of(event_b, labels_b),
+            )
+    return None
+
+
+def _describe(event: dict | None, label: str) -> list[str]:
+    if event is None:
+        return [f"  {label}: <trace ended>"]
+    lines = [
+        f"  {label}: ts={event.get('ts')}us ph={event.get('ph')} "
+        f"name={event.get('name')!r} cat={event.get('cat')!r}"
+    ]
+    args = _masked_args(event)
+    if args:
+        lines.append(f"    args: {json.dumps(args, sort_keys=True)}")
+    return lines
+
+
+def render_divergence(divergence: TraceDivergence | None) -> str:
+    """Human-readable report for ``repro trace diff``."""
+    if divergence is None:
+        return "traces are identical (metadata and wall stamps ignored)"
+    lines = [f"first divergence at story event #{divergence.index}"]
+    if divergence.fields:
+        lines.append(f"differing fields: {', '.join(divergence.fields)}")
+    else:
+        lines.append("one trace ends before the other")
+    lines.extend(_describe(divergence.a, f"A [{divergence.a_label}]"))
+    lines.extend(_describe(divergence.b, f"B [{divergence.b_label}]"))
+    return "\n".join(lines)

@@ -24,6 +24,7 @@ from pathlib import Path
 from typing import Any, Iterable
 
 from repro.obs.tracer import (
+    COUNTER,
     INSTANT,
     NODE_GROUP,
     PROTO_GROUP,
@@ -38,7 +39,7 @@ GROUP_PIDS = {NODE_GROUP: 1, PROTO_GROUP: 2, SIM_GROUP: 3}
 PROCESS_NAMES = {1: "nodes", 2: "protocol", 3: "simulator"}
 
 #: Event phases a valid exported document may contain.
-VALID_PHASES = frozenset({SPAN, INSTANT, "M"})
+VALID_PHASES = frozenset({SPAN, INSTANT, COUNTER, "M"})
 
 
 def _events_of(source: Tracer | Iterable[TraceEvent]) -> list[TraceEvent]:
@@ -177,7 +178,7 @@ def validate_chrome_trace(payload: Any) -> list[str]:
             problems.append(f"{prefix}.name missing")
         phase = event.get("ph")
         if phase not in VALID_PHASES:
-            problems.append(f"{prefix}.ph {phase!r} not in {{X, i, M}}")
+            problems.append(f"{prefix}.ph {phase!r} not in {{X, i, C, M}}")
             continue
         for key in ("pid", "tid"):
             if not isinstance(event.get(key), int):
@@ -188,6 +189,22 @@ def validate_chrome_trace(payload: Any) -> list[str]:
             dur = event.get("dur")
             if not isinstance(dur, (int, float)) or dur < 0:
                 problems.append(f"{prefix}.dur must be a number >= 0")
+        if phase == COUNTER:
+            args = event.get("args")
+            if not isinstance(args, dict) or not args:
+                problems.append(
+                    f"{prefix}.args must be a non-empty object on a "
+                    "counter event"
+                )
+            elif not all(
+                isinstance(value, (int, float)) and not isinstance(
+                    value, bool
+                )
+                for value in args.values()
+            ):
+                problems.append(
+                    f"{prefix}.args counter series must be numeric"
+                )
         if phase == "M":
             args = event.get("args", {})
             if event.get("name") == "thread_name" and args.get("name"):

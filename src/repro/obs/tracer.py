@@ -57,10 +57,12 @@ SIM_GROUP = "sim"
 CLOCK_TRACK = (SIM_GROUP, "clock")
 FAULTS_TRACK = (SIM_GROUP, "faults")
 PHASE_TRACK = (SIM_GROUP, "phases")
+STORAGE_TRACK = (SIM_GROUP, "storage")
 
 #: Event phases (Chrome trace-event vocabulary subset).
 SPAN = "X"      # complete event: ts + dur
 INSTANT = "i"   # point event
+COUNTER = "C"   # sampled numeric series (Perfetto charts these)
 
 
 @dataclass(frozen=True)
@@ -218,6 +220,37 @@ class Tracer:
                 category=category,
                 wall=perf_counter(),
                 args=args,
+            )
+        )
+
+    def counter(
+        self,
+        name: str,
+        track: tuple,
+        values: dict[str, float],
+        ts: float | None = None,
+        category: str = "",
+    ) -> None:
+        """Record one sample of a numeric series (Chrome ``ph: "C"``).
+
+        ``values`` maps series name → numeric sample; Perfetto stacks
+        the series of one counter name into an area chart over time.
+        """
+        if not self._enabled:
+            return
+        if ts is None:
+            ts = self._now()
+        self._recorded += 1
+        self._events.append(
+            TraceEvent(
+                name=name,
+                phase=COUNTER,
+                ts=ts,
+                dur=0.0,
+                track=track,
+                category=category,
+                wall=perf_counter(),
+                args=dict(values),
             )
         )
 

@@ -262,7 +262,9 @@ def run_chaos(
     return outcome
 
 
-def reconcile(deployment: ICIDeployment) -> int:
+def reconcile(
+    deployment: ICIDeployment, refetch_bodies: bool = True
+) -> int:
     """Repair every replica after a heal; returns bodies refetched.
 
     Three passes, each drained to quiescence:
@@ -272,7 +274,9 @@ def reconcile(deployment: ICIDeployment) -> int:
        also reopens any verification round they never saw.
     2. **Body refetch** — every assigned holder missing its body pulls it
        through the ordinary query path; under faults the query engine
-       re-adopts the body into the holder's assignment.
+       re-adopts the body into the holder's assignment.  Endurance runs
+       pass ``refetch_bodies=False`` to leave this to the anti-entropy
+       sweep (the thing under test) instead of the query path.
     3. **Finality re-kick** — members still stuck re-enter the
        verification engine's probe chain, which replays certificates or
        re-broadcasts attestations until the round closes.
@@ -286,18 +290,21 @@ def reconcile(deployment: ICIDeployment) -> int:
     deployment.run()
 
     refetched = 0
-    for view in deployment.clusters.views():
-        for header in headers:
-            if header.is_genesis:
-                continue
-            holders = deployment.holders_in_cluster(header, view.cluster_id)
-            for holder in holders:
-                node = deployment.nodes[holder]
-                if node.store.has_body(header.block_hash):
+    if refetch_bodies:
+        for view in deployment.clusters.views():
+            for header in headers:
+                if header.is_genesis:
                     continue
-                deployment.retrieve_block(holder, header.block_hash)
-                refetched += 1
-    deployment.run()
+                holders = deployment.holders_in_cluster(
+                    header, view.cluster_id
+                )
+                for holder in holders:
+                    node = deployment.nodes[holder]
+                    if node.store.has_body(header.block_hash):
+                        continue
+                    deployment.retrieve_block(holder, header.block_hash)
+                    refetched += 1
+        deployment.run()
 
     verification = deployment.verification
     for node_id in sorted(deployment.nodes):
@@ -311,31 +318,381 @@ def reconcile(deployment: ICIDeployment) -> int:
     return refetched
 
 
+@dataclass(frozen=True)
+class EnduranceConfig:
+    """One seeded endurance scenario: churn × faults × anti-entropy.
+
+    Extends the chaos shape with a sustained :class:`ChurnSchedule`
+    (drawn from the same seed) applied *while* the fault weather is
+    active, an auto-expiring partition window, and the anti-entropy
+    engine sweeping at ``repair_cadence`` throughout.
+    """
+
+    seed: int = 0
+    n_nodes: int = 24
+    n_clusters: int = 3
+    replication: int = 2
+    n_blocks: int = 12
+    txs_per_block: int = 2
+    drop_rate: float = 0.2
+    duplicate_rate: float = 0.05
+    delay_rate: float = 0.05
+    delay_seconds: float = 1.0
+    join_rate: float = 0.15
+    leave_rate: float = 0.1
+    crash_rate: float = 0.1
+    crash_count: int = 1
+    partition: bool = True
+    partition_blocks: int = 3
+    repair_cadence: float = 5.0
+    settle_seconds: float = 10.0
+    queries: int = 8
+    max_heal_rounds: int = 40
+
+    def __post_init__(self) -> None:
+        if self.n_blocks < 2:
+            raise ConfigurationError("endurance runs need at least 2 blocks")
+        if self.repair_cadence <= 0 or self.settle_seconds <= 0:
+            raise ConfigurationError("cadence/settle must be > 0")
+        if self.crash_count < 0 or self.queries < 0:
+            raise ConfigurationError("counts must be >= 0")
+        if self.max_heal_rounds < 1:
+            raise ConfigurationError("max_heal_rounds must be >= 1")
+
+
+@dataclass
+class EnduranceOutcome:
+    """What one endurance run did and whether self-healing converged."""
+
+    config: EnduranceConfig
+    blocks_produced: int = 0
+    joins: int = 0
+    leaves: int = 0
+    churn_crashes: int = 0
+    skipped_events: int = 0
+    outage_crashed: list[int] = field(default_factory=list)
+    partitioned: list[int] = field(default_factory=list)
+    fault_stats: dict[str, int] = field(default_factory=dict)
+    retries: dict[str, int] = field(default_factory=dict)
+    timeouts: dict[str, int] = field(default_factory=dict)
+    degraded: dict[str, int] = field(default_factory=dict)
+    #: The anti-entropy engine's counters (``RepairStats.as_dict()``).
+    repair: dict[str, int] = field(default_factory=dict)
+    #: Blocks departures handed off to the sweep after exhausted retries.
+    deferred_blocks: int = 0
+    #: Virtual seconds from first deficit detection to restored copy.
+    time_to_repair: dict[str, float] = field(default_factory=dict)
+    heal_rounds: int = 0
+    queries_attempted: int = 0
+    queries_completed: int = 0
+    queries_degraded: int = 0
+    cluster_integrity: dict[int, bool] = field(default_factory=dict)
+    replica_floor_met: bool = False
+    virtual_seconds: float = 0.0
+    events_processed: int = 0
+    #: Not part of :meth:`signature` (floats derived from the same
+    #: deterministic stream the counters pin) — see ChaosOutcome.
+    latency_percentiles: dict[str, dict[str, float]] = field(
+        default_factory=dict
+    )
+    tracer: Tracer | None = field(default=None, repr=False)
+    #: The healed deployment, for independent post-run auditing (the
+    #: property suite re-derives coverage rather than trusting the
+    #: audit flags above).  Not part of the signature.
+    deployment: "ICIDeployment | None" = field(default=None, repr=False)
+
+    @property
+    def integrity_restored(self) -> bool:
+        """Full ledger per cluster *and* the replication floor met."""
+        return (
+            bool(self.cluster_integrity)
+            and all(self.cluster_integrity.values())
+            and self.replica_floor_met
+        )
+
+    def signature(self) -> dict:
+        """The determinism fingerprint: equal for equal (config, seed)."""
+        return {
+            "blocks_produced": self.blocks_produced,
+            "joins": self.joins,
+            "leaves": self.leaves,
+            "churn_crashes": self.churn_crashes,
+            "skipped_events": self.skipped_events,
+            "outage_crashed": list(self.outage_crashed),
+            "partitioned": list(self.partitioned),
+            "fault_stats": dict(self.fault_stats),
+            "retries": dict(self.retries),
+            "timeouts": dict(self.timeouts),
+            "degraded": dict(self.degraded),
+            "repair": dict(self.repair),
+            "deferred_blocks": self.deferred_blocks,
+            "time_to_repair": dict(self.time_to_repair),
+            "heal_rounds": self.heal_rounds,
+            "queries_completed": self.queries_completed,
+            "queries_degraded": self.queries_degraded,
+            "cluster_integrity": dict(self.cluster_integrity),
+            "replica_floor_met": self.replica_floor_met,
+            "virtual_seconds": self.virtual_seconds,
+            "events_processed": self.events_processed,
+        }
+
+
+def run_endurance(
+    config: EnduranceConfig | None = None,
+    limits: ValidationLimits = DEFAULT_LIMITS,
+    tracer: Tracer | None = None,
+) -> EnduranceOutcome:
+    """Sustained churn under fault weather with anti-entropy sweeping.
+
+    Shape of a run:
+
+    1. **Storm** — produce the block stream with the fault weather on and
+       the anti-entropy engine sweeping; the seeded churn schedule fires
+       between blocks (joins bootstrap, leaves repair-then-exit, crashes
+       trigger survivor re-replication), an outage crashes
+       ``crash_count`` extra members a third of the way in, and an
+       auto-expiring minority partition opens at the halfway mark.
+    2. **Heal** — faults off, header catch-up + finality re-kick
+       (``reconcile`` *without* the query-path body refetch: restoring
+       bodies is the sweep's job here), then bounded sweep rounds until
+       the repair counters go quiet.
+    3. **Probe** — a query batch under the still-lossy link rates.
+    4. **Audit** — per-cluster full-ledger integrity plus the stronger
+       replica floor: every active block holds ``min(r, live)`` live
+       replicas in every cluster.
+    """
+    from repro.obs.summary import percentile
+    from repro.sim.churn import (
+        ChurnConfig,
+        ChurnDriver,
+        ChurnOutcome,
+        make_schedule,
+    )
+
+    config = config or EnduranceConfig()
+    ici = ICIConfig(
+        n_clusters=config.n_clusters,
+        replication=config.replication,
+        limits=limits,
+    )
+    deployment = ICIDeployment(config.n_nodes, config=ici)
+    runner = ScenarioRunner(deployment, limits=limits, seed=config.seed)
+    plan = FaultPlan(
+        config=FaultConfig(
+            seed=config.seed,
+            drop_rate=config.drop_rate,
+            duplicate_rate=config.duplicate_rate,
+            delay_rate=config.delay_rate,
+            delay_seconds=config.delay_seconds,
+        )
+    )
+    injector = plan.install(deployment.network)
+    deployment.query.set_retry_policy(CHAOS_QUERY_POLICY)
+    if tracer is None:
+        tracer = Tracer()
+    install_tracing(deployment, tracer)
+    outcome = EnduranceOutcome(config=config, tracer=tracer)
+    rng = random.Random(config.seed ^ 0xE17D)
+
+    churn_config = ChurnConfig(
+        join_rate=config.join_rate,
+        leave_rate=config.leave_rate,
+        crash_rate=config.crash_rate,
+        seed=config.seed,
+    )
+    by_block: dict[int, list] = {}
+    for event in make_schedule(churn_config, config.n_blocks):
+        by_block.setdefault(event.after_block, []).append(event)
+    driver = ChurnDriver(
+        deployment,
+        runner,
+        churn_config,
+        settle_seconds=config.settle_seconds,
+    )
+    churn = ChurnOutcome()
+
+    repair = deployment.repair
+    repair.start(cadence=config.repair_cadence)
+    outage_block = max(1, config.n_blocks // 3)
+    partition_block = max(2, config.n_blocks // 2)
+    block_hashes: list = []
+
+    # Phase 1: the storm.
+    with tracer.span("endurance:storm"):
+        for block_index in range(1, config.n_blocks + 1):
+            report = runner.produce_blocks(
+                1,
+                txs_per_block=config.txs_per_block,
+                drain_between_blocks=False,
+                drain_at_end=False,
+            )
+            block_hashes.extend(report.block_hashes)
+            churn.blocks_produced += 1
+            if block_index == outage_block and config.crash_count:
+                victims = _pick_victims(deployment, rng, config.crash_count)
+                outcome.outage_crashed = victims
+                for victim in victims:
+                    injector.crash(victim)
+                    runner.schedule.remove(victim)
+            if block_index == partition_block and config.partition:
+                outcome.partitioned = _cut_minority(
+                    deployment,
+                    injector,
+                    outcome.outage_crashed,
+                    duration=config.partition_blocks * runner.block_interval,
+                )
+                for victim in outcome.partitioned:
+                    runner.schedule.remove(victim)
+            for event in by_block.get(block_index, []):
+                driver._apply(event, churn)
+
+    outcome.blocks_produced = churn.blocks_produced
+    outcome.joins = churn.joins
+    outcome.leaves = churn.leaves
+    outcome.churn_crashes = churn.crashes
+    outcome.skipped_events = churn.skipped_events
+
+    # Phase 2: heal, catch headers up, and let the sweep converge.
+    with tracer.span("endurance:heal"):
+        injector.heal()
+        for victim in outcome.outage_crashed + outcome.partitioned:
+            if victim in deployment.nodes:
+                runner.schedule.add(victim)
+        # reconcile() drains to quiescence internally — the sweep must be
+        # parked while it runs, then resumed for the convergence rounds.
+        repair.stop()
+        reconcile(deployment, refetch_bodies=False)
+        repair.start(cadence=config.repair_cadence)
+        last = (-1, -1)
+        quiet = 0
+        for _ in range(config.max_heal_rounds):
+            deployment.network.clock.run_for(config.repair_cadence)
+            outcome.heal_rounds += 1
+            snapshot = (
+                repair.stats.under_replicated,
+                repair.stats.blocks_re_replicated,
+            )
+            if snapshot == last and repair.idle:
+                quiet += 1
+                if quiet >= 2:
+                    break
+            else:
+                quiet = 0
+            last = snapshot
+        repair.stop()
+        deployment.run()
+
+    # Phase 3: a query batch, still under lossy links.
+    with tracer.span("endurance:queries"):
+        node_ids = sorted(deployment.nodes)
+        for _ in range(config.queries):
+            requester = rng.choice(node_ids)
+            block_hash = rng.choice(block_hashes)
+            record = deployment.retrieve_block(requester, block_hash)
+            deployment.run()
+            outcome.queries_attempted += 1
+            if record.completed_at is not None:
+                outcome.queries_completed += 1
+            if record.degraded:
+                outcome.queries_degraded += 1
+
+    # Phase 4: audit.
+    for view in deployment.clusters.views():
+        outcome.cluster_integrity[view.cluster_id] = (
+            deployment.cluster_holds_full_ledger(view.cluster_id)
+        )
+    outcome.replica_floor_met = replica_floor_met(deployment)
+    outcome.fault_stats = injector.stats.as_dict()
+    stats = deployment.metrics.router_stats
+    outcome.retries = dict(stats.retries)
+    outcome.timeouts = dict(stats.timeouts)
+    outcome.degraded = dict(stats.degraded)
+    outcome.repair = repair.stats.as_dict()
+    outcome.deferred_blocks = sum(
+        len(report.deferred_blocks)
+        for report in deployment.metrics.departures
+    )
+    if repair.repair_times:
+        times = sorted(repair.repair_times)
+        outcome.time_to_repair = {
+            "p50": percentile(times, 0.50),
+            "p95": percentile(times, 0.95),
+        }
+    outcome.virtual_seconds = deployment.network.now
+    outcome.events_processed = deployment.network.clock.processed
+    outcome.latency_percentiles = summarize(tracer).latency_percentiles()
+    outcome.deployment = deployment
+    return outcome
+
+
+def replica_floor_met(deployment: ICIDeployment) -> bool:
+    """Does every cluster hold ``min(r, live)`` live replicas of
+    every active block?
+
+    Stronger than :meth:`cluster_holds_full_ledger` (any one copy): this
+    is the invariant the anti-entropy sweep converges toward.
+    """
+    from repro.sim.faults import live_members
+
+    replication = deployment.config.replication
+    headers = list(deployment.ledger.store.iter_active_headers())
+    for view in deployment.clusters.views():
+        live = live_members(deployment.network, sorted(view.members))
+        floor = min(replication, len(live))
+        if floor == 0:
+            continue
+        for header in headers:
+            holders = sum(
+                1
+                for member in live
+                if deployment.nodes[member].store.has_body(
+                    header.block_hash
+                )
+            )
+            if holders < floor:
+                return False
+    return True
+
+
 def _pick_victims(
     deployment: ICIDeployment, rng: random.Random, count: int
 ) -> list[int]:
-    """Deterministically sample outage victims from spare-capacity clusters."""
+    """Deterministically sample outage victims from spare-capacity clusters.
+
+    Candidates come from the fault layer's ``live_members`` view, so an
+    outage can never target a node that is already crashed or stalled
+    (injector.crash on a dead node would double-count it, and a churn
+    composition would otherwise raise).  On a clean network every member
+    is live, so the candidate list — and the RNG draw — is unchanged.
+    """
+    from repro.sim.faults import live_members
+
     if count == 0:
         return []
     minimum = max(deployment.config.replication + 1, 2)
-    candidates = [
-        member
-        for view in deployment.clusters.views()
-        if view.size > minimum
-        for member in view.members
-    ]
+    network = deployment.network
+    candidates: list[int] = []
+    for view in deployment.clusters.views():
+        live = live_members(network, view.members)
+        if len(live) > minimum:
+            candidates.extend(live)
     count = min(count, len(candidates))
     return rng.sample(sorted(candidates), count) if count else []
 
 
 def _cut_minority(
-    deployment: ICIDeployment, injector, exclude: list[int]
+    deployment: ICIDeployment,
+    injector,
+    exclude: list[int],
+    duration: float | None = None,
 ) -> list[int]:
     """Partition a below-quorum minority of the largest cluster.
 
     The cut stays under the Byzantine threshold (⌊(m−1)/3⌋) so the
     majority side keeps finalizing; the isolated members catch up at
-    heal + reconcile time.
+    heal + reconcile time.  With ``duration`` the window self-expires
+    after that many virtual seconds (endurance runs); otherwise it lasts
+    until an explicit ``heal()``.
     """
     views = sorted(
         deployment.clusters.views(), key=lambda v: (-v.size, v.cluster_id)
@@ -351,11 +708,13 @@ def _cut_minority(
         for node_id in deployment.nodes
         if node_id not in minority
     ]
+    now = deployment.network.now
     injector.partition(
         PartitionWindow(
             side_a=frozenset(minority),
             side_b=frozenset(others),
-            start=deployment.network.now,
+            start=now,
+            end=float("inf") if duration is None else now + duration,
         )
     )
     return minority

@@ -77,6 +77,7 @@ class ScenarioRunner:
         n_blocks: int,
         txs_per_block: int = 20,
         drain_between_blocks: bool = True,
+        drain_at_end: bool = True,
     ) -> RunReport:
         """Seal and disseminate ``n_blocks`` consecutive blocks.
 
@@ -88,6 +89,10 @@ class ScenarioRunner:
                 runs to quiescence after each block — every cluster
                 finalizes before the next block is sealed.  When ``False``
                 blocks are spaced ``block_interval`` apart and may pipeline.
+            drain_at_end: when ``True`` (default) the simulator runs to
+                quiescence after the last block.  Endurance runs pass
+                ``False`` because a periodic engine (the anti-entropy
+                sweep) keeps the event queue perpetually non-empty.
         """
         report = RunReport()
         for _ in range(n_blocks):
@@ -104,7 +109,8 @@ class ScenarioRunner:
                 self.deployment.run()
             else:
                 self.deployment.run_for(self.block_interval)
-        self.deployment.run()
+        if drain_at_end:
+            self.deployment.run()
         return report
 
     def produce_blocks_via_relay(

@@ -467,3 +467,171 @@ class TestTraceCli:
         code = main(["trace", "full", "--chaos"])
         assert code == 2
         assert "ici" in capsys.readouterr().err
+
+
+class TestCounterEvents:
+    def make_tracer(self):
+        tracer = Tracer()
+        clock = SimClock()
+        tracer.bind_clock(clock)
+        return tracer
+
+    def test_counter_rows_export_without_span_fields(self):
+        tracer = self.make_tracer()
+        from repro.obs.tracer import STORAGE_TRACK
+
+        tracer.counter(
+            "cluster 0 ledger bytes",
+            STORAGE_TRACK,
+            {"bytes": 4096},
+            ts=1.0,
+            category="storage",
+        )
+        payload = to_chrome_trace(tracer)
+        assert validate_chrome_trace(payload) == []
+        rows = [e for e in payload["traceEvents"] if e["ph"] == "C"]
+        assert len(rows) == 1
+        row = rows[0]
+        assert row["args"] == {"bytes": 4096}
+        assert "dur" not in row
+        assert "s" not in row
+
+    def test_validator_flags_malformed_counters(self):
+        base = {"name": "c", "ph": "C", "pid": 3, "tid": 0, "ts": 0}
+        meta = [
+            {"name": "process_name", "ph": "M", "pid": 3, "tid": 0,
+             "ts": 0, "args": {"name": "simulator"}},
+            {"name": "thread_name", "ph": "M", "pid": 3, "tid": 0,
+             "ts": 0, "args": {"name": "storage"}},
+        ]
+        missing = validate_chrome_trace({"traceEvents": meta + [dict(base)]})
+        assert any("non-empty object" in p for p in missing)
+        bad_type = validate_chrome_trace(
+            {"traceEvents": meta + [dict(base, args={"bytes": "big"})]}
+        )
+        assert any("numeric" in p for p in bad_type)
+        bool_is_not_a_series = validate_chrome_trace(
+            {"traceEvents": meta + [dict(base, args={"ok": True})]}
+        )
+        assert any("numeric" in p for p in bool_is_not_a_series)
+        good = validate_chrome_trace(
+            {"traceEvents": meta + [dict(base, args={"bytes": 1})]}
+        )
+        assert good == []
+
+    def test_finalize_hook_samples_cluster_ledger_bytes(self):
+        tracer, deployment = traced_run()
+        payload = to_chrome_trace(tracer)
+        counters = [
+            e for e in payload["traceEvents"] if e["ph"] == "C"
+        ]
+        assert counters
+        assert all("ledger bytes" in e["name"] for e in counters)
+        # The series is monotone non-decreasing per cluster: ledgers grow.
+        by_name: dict = {}
+        for row in counters:
+            by_name.setdefault(row["name"], []).append(
+                (row["ts"], row["args"]["bytes"])
+            )
+        for series in by_name.values():
+            values = [b for _, b in sorted(series)]
+            assert values == sorted(values)
+
+
+class TestTraceDiff:
+    def payload(self, *rows):
+        meta = [
+            {"name": "process_name", "ph": "M", "pid": 1, "tid": 0,
+             "ts": 0, "args": {"name": "nodes"}},
+            {"name": "thread_name", "ph": "M", "pid": 1, "tid": 0,
+             "ts": 0, "args": {"name": "node 0"}},
+        ]
+        return {"traceEvents": meta + list(rows)}
+
+    def row(self, **overrides):
+        base = {
+            "name": "block_body", "ph": "i", "pid": 1, "tid": 0,
+            "ts": 100.0, "cat": "send", "args": {"to": 1, "bytes": 7},
+        }
+        base.update(overrides)
+        return base
+
+    def test_identical_traces_diff_to_none(self):
+        from repro.obs.diff import diff_traces, render_divergence
+
+        a, b = self.payload(self.row()), self.payload(self.row())
+        assert diff_traces(a, b) is None
+        assert "identical" in render_divergence(None)
+
+    def test_first_divergent_field_is_localized(self):
+        from repro.obs.diff import diff_traces, render_divergence
+
+        a = self.payload(self.row(), self.row(ts=200.0))
+        b = self.payload(self.row(), self.row(ts=250.0))
+        divergence = diff_traces(a, b)
+        assert divergence is not None
+        assert divergence.index == 1
+        assert divergence.fields == ("ts",)
+        assert divergence.a_label == "nodes/node 0"
+        text = render_divergence(divergence)
+        assert "story event #1" in text
+        assert "ts" in text
+        assert "block_body" in text
+
+    def test_metadata_rows_do_not_shift_indices(self):
+        from repro.obs.diff import diff_traces
+
+        a = self.payload(self.row())
+        b = {"traceEvents": [self.row()]}  # no metadata at all
+        assert diff_traces(a, b) is None
+
+    def test_length_mismatch_reports_trace_end(self):
+        from repro.obs.diff import diff_traces, render_divergence
+
+        a = self.payload(self.row(), self.row(ts=200.0))
+        b = self.payload(self.row())
+        divergence = diff_traces(a, b)
+        assert divergence is not None
+        assert divergence.index == 1
+        assert divergence.fields == ()
+        assert divergence.b is None
+        assert "ends before" in render_divergence(divergence)
+
+    def test_wall_clock_residue_is_masked(self):
+        from repro.obs.diff import diff_traces
+
+        a = self.payload(
+            self.row(ph="X", dur=5.0, args={"wall_us": 12.5})
+        )
+        b = self.payload(
+            self.row(ph="X", dur=5.0, args={"wall_us": 99.9})
+        )
+        assert diff_traces(a, b) is None
+
+    def test_unreadable_file_raises_observability_error(self, tmp_path):
+        from repro.obs.diff import diff_traces
+
+        good = tmp_path / "a.json"
+        good.write_text(json.dumps(self.payload(self.row())))
+        with pytest.raises(ObservabilityError):
+            diff_traces(good, tmp_path / "missing.json")
+        bad = tmp_path / "b.json"
+        bad.write_text("not json")
+        with pytest.raises(ObservabilityError):
+            diff_traces(good, bad)
+
+    def test_cli_diff_exit_codes(self, tmp_path, capsys):
+        from repro.cli import main
+
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        a.write_text(json.dumps(self.payload(self.row())))
+        b.write_text(json.dumps(self.payload(self.row(ts=999.0))))
+        assert main(["trace", "diff", str(a), str(a)]) == 0
+        assert "identical" in capsys.readouterr().out
+        assert main(["trace", "diff", str(a), str(b)]) == 1
+        assert "first divergence" in capsys.readouterr().out
+        assert main(["trace", "diff", str(a)]) == 2
+        assert "exactly two" in capsys.readouterr().err
+        # Stray FILE operands on a recording scenario are a usage error.
+        assert main(["trace", "ici", str(a), str(b)]) == 2

@@ -231,3 +231,62 @@ class TestErasureProperties:
             encode_group([(chunk_id, b"a"), (chunk_id, b"b")])
         with pytest.raises(StorageError):
             encode_group([])
+
+
+class TestEnduranceConvergence:
+    """The anti-entropy sweep's contract, re-derived from raw storage.
+
+    Rather than trusting the outcome's audit flags, these walk the healed
+    deployment directly: per cluster, the union of what the members hold
+    must equal the canonical chain, and each block must keep
+    ``min(r, live_cluster_size)`` live replicas.
+    """
+
+    @settings(derandomize=True, max_examples=8, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=1_000))
+    def test_coverage_union_and_replica_floor(self, seed):
+        from repro.sim.chaos import EnduranceConfig, run_endurance
+        from repro.sim.faults import live_members
+        from tests.conftest import TEST_LIMITS
+
+        outcome = run_endurance(
+            EnduranceConfig(
+                seed=seed,
+                n_nodes=12,
+                n_clusters=3,
+                n_blocks=4,
+                queries=0,
+            ),
+            limits=TEST_LIMITS,
+        )
+        deployment = outcome.deployment
+        canonical = {
+            header.block_hash
+            for header in deployment.ledger.store.iter_active_headers()
+        }
+        replication = deployment.config.replication
+        for view in deployment.clusters.views():
+            stores = [
+                deployment.nodes[member].store for member in view.members
+            ]
+            union = set()
+            for store in stores:
+                union |= {
+                    block.block_hash for block in store.iter_bodies()
+                }
+            assert canonical <= union, (
+                f"cluster {view.cluster_id} lost "
+                f"{len(canonical - union)} blocks (seed {seed})"
+            )
+            live = live_members(deployment.network, sorted(view.members))
+            floor = min(replication, len(live))
+            for block_hash in canonical:
+                holders = sum(
+                    1
+                    for member in live
+                    if deployment.nodes[member].store.has_body(block_hash)
+                )
+                assert holders >= floor, (
+                    f"cluster {view.cluster_id} holds {holders} live "
+                    f"replicas of a block, floor {floor} (seed {seed})"
+                )
