@@ -165,6 +165,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="after the timed reps, run each bench once under the tracer "
         "and write TRACE_<id>.json next to the results",
     )
+    _backend_args(bench)
 
     chaos = sub.add_parser(
         "chaos",
@@ -225,6 +226,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="export the run's Chrome trace-event JSON to FILE",
     )
+    _backend_args(chaos)
 
     endurance = sub.add_parser(
         "endurance",
@@ -307,6 +309,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="export the run's Chrome trace-event JSON to FILE",
     )
+    _backend_args(endurance)
 
     trace = sub.add_parser(
         "trace",
@@ -316,16 +319,18 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument(
         "scenario",
         nargs="?",
-        choices=("ici", "full", "rapidchain", "diff"),
+        choices=("ici", "full", "rapidchain", "diff", "profile"),
         default="ici",
-        help="strategy to deploy (default ici), or 'diff' to compare "
-        "two exported traces",
+        help="strategy to deploy (default ici), 'diff' to compare two "
+        "exported traces, or 'profile' to rank callback wall cost in "
+        "one",
     )
     trace.add_argument(
         "files",
         nargs="*",
         metavar="FILE",
-        help="with 'diff': the two Chrome trace JSON files to compare",
+        help="with 'diff': the two Chrome trace JSON files to compare; "
+        "with 'profile': the one trace to profile",
     )
     _common_args(trace)
     trace.add_argument(
@@ -387,9 +392,28 @@ def _common_args(parser: argparse.ArgumentParser) -> None:
         default="uniform",
     )
     parser.add_argument("--seed", type=int, default=0)
+    _backend_args(parser)
+
+
+def _backend_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend",
+        choices=("serial", "parallel"),
+        default="serial",
+        help="simulation backend: serial single-heap (default) or "
+        "cluster-sharded event lanes",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="worker count for --backend parallel (default 2)",
+    )
 
 
 def _deploy(args: argparse.Namespace, strategy: str):
+    from repro.sim.backend import backend_scope, parse_backend
+
     scenario = Scenario(
         strategy=strategy,
         n_nodes=args.nodes,
@@ -398,7 +422,11 @@ def _deploy(args: argparse.Namespace, strategy: str):
         latency=args.latency,
         seed=args.seed,
     )
-    return build_deployment(scenario)
+    backend = parse_backend(
+        getattr(args, "backend", None), getattr(args, "workers", 2)
+    )
+    with backend_scope(backend):
+        return build_deployment(scenario)
 
 
 def _summary_rows(deployment, report) -> list[tuple]:
@@ -562,11 +590,14 @@ def cmd_bench(args: argparse.Namespace) -> int:
         if args.output_dir
         else repo_root / "benchmarks" / "results"
     )
+    from repro.sim.backend import parse_backend
+
     runner = BenchmarkRunner(
         workloads,
         PROFILES[args.profile],
         progress=print,
         trace_dir=output_dir if args.trace else None,
+        backend=parse_backend(args.backend, args.workers),
     )
     payload = runner.run()
     json_path = runner.write(payload, output_dir)
@@ -641,6 +672,8 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         crash_count=args.crash_count,
         stall_count=args.stall_count,
         partition=args.partition,
+        backend=args.backend,
+        workers=args.workers,
     )
     outcome = run_chaos(config)
     summary = render_chaos_summary(outcome)
@@ -683,6 +716,8 @@ def cmd_endurance(args: argparse.Namespace) -> int:
         crash_count=args.crash_count,
         partition=args.partition,
         repair_cadence=args.cadence,
+        backend=args.backend,
+        workers=args.workers,
     )
     outcome = run_endurance(config)
     summary = render_endurance_summary(outcome)
@@ -718,15 +753,38 @@ def _cmd_trace_diff(args: argparse.Namespace) -> int:
     return 0 if divergence is None else 1
 
 
+def _cmd_trace_profile(args: argparse.Namespace) -> int:
+    """``trace profile X.json``: ranked callback wall-cost table."""
+    from repro.analysis.report import render_trace_profile
+    from repro.obs.profile import profile_chrome_trace
+
+    if len(args.files) != 1:
+        print(
+            "trace profile needs exactly one trace file", file=sys.stderr
+        )
+        return 2
+    profiles = profile_chrome_trace(args.files[0])
+    print(
+        render_trace_profile(
+            profiles, title=f"Callback wall-cost profile: {args.files[0]}"
+        ),
+        end="",
+    )
+    return 0
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     """``trace``: record one scenario under the tracer and export it."""
     import random
 
     if args.scenario == "diff":
         return _cmd_trace_diff(args)
+    if args.scenario == "profile":
+        return _cmd_trace_profile(args)
     if args.files:
         print(
-            "positional FILE arguments only apply to 'trace diff'",
+            "positional FILE arguments only apply to 'trace diff' and "
+            "'trace profile'",
             file=sys.stderr,
         )
         return 2

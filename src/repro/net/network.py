@@ -15,6 +15,7 @@ from typing import TYPE_CHECKING, Iterable, Protocol
 from repro.errors import UnknownNodeError
 from repro.net.latency import DEFAULT_BANDWIDTH_BPS, ConstantLatency, LatencyModel
 from repro.net.message import Message
+from repro.net.shard import ShardedClock
 from repro.net.simclock import SimClock
 from repro.net.topology import Topology
 from repro.net.traffic import TrafficLedger
@@ -48,7 +49,15 @@ class Network:
         topology: Topology | None = None,
         bandwidth_bps: float = DEFAULT_BANDWIDTH_BPS,
     ) -> None:
-        self.clock = clock or SimClock()
+        if clock is None:
+            # The active backend (if any) decides the clock flavour —
+            # that is how `--backend parallel` reaches workloads that
+            # construct their own deployments.
+            from repro.sim.backend import active_backend
+
+            backend = active_backend()
+            clock = backend.make_clock() if backend is not None else SimClock()
+        self.clock = clock
         self.latency = latency or ConstantLatency()
         self.bandwidth_bps = bandwidth_bps
         self.traffic = TrafficLedger()
@@ -59,6 +68,11 @@ class Network:
         )
         self._dropped_messages = 0
         self._faults: "FaultInjector" | None = None
+        self._shard_router: "ShardedClock" | None = (
+            clock if isinstance(clock, ShardedClock) else None
+        )
+        if self._shard_router is not None:
+            self._shard_router.bind_network(self)
 
     # ------------------------------------------------------------- registry
     def register(self, node_id: int, endpoint: Endpoint) -> None:
@@ -66,11 +80,18 @@ class Network:
         self._endpoints[node_id] = endpoint
         self._online[node_id] = True
         self._topology.setdefault(node_id, ())
+        if self._shard_router is not None:
+            self._shard_router.note_membership_change()
 
     def unregister(self, node_id: int) -> None:
         """Detach a node entirely (permanent departure)."""
         self._endpoints.pop(node_id, None)
         self._online.pop(node_id, None)
+        # Stale peer entries must not survive churn/departure cycles.
+        self._topology.pop(node_id, None)
+        if self._shard_router is not None:
+            self._shard_router.note_membership_change()
+            self._shard_router.shard_map.remove(node_id)
 
     def set_topology(self, topology: Topology) -> None:
         """Replace the peer graph (e.g., after re-clustering)."""
@@ -105,8 +126,15 @@ class Network:
         With no injector attached the delivery path is exactly the
         original code — the fault branch in :meth:`send` never runs, so
         fault-free simulated metrics stay byte-identical.
+
+        On a sharded clock, attaching an injector collapses the lanes
+        into the serial-exact coupled schedule: fault decisions come
+        from one seeded RNG stream consumed in send order, which lane
+        reordering would change.
         """
         self._faults = injector
+        if injector is not None and self._shard_router is not None:
+            self._shard_router.set_coupled()
 
     # ------------------------------------------------------------- liveness
     def is_online(self, node_id: int) -> bool:
@@ -147,6 +175,9 @@ class Network:
             for _ in range(copies):
                 self.clock.schedule(delay + extra_delay, self._deliver, message)
             return
+        if self._shard_router is not None:
+            self._shard_router.schedule_message(delay, self._deliver, message)
+            return
         self.clock.schedule(delay, self._deliver, message)
 
     def send_many(self, messages: Iterable[Message]) -> None:
@@ -167,9 +198,27 @@ class Network:
             return
         online = self._online
         total_delay = self.latency.total_delay
-        schedule = self.clock.schedule
         deliver = self._deliver
         bandwidth = self.bandwidth_bps
+        router = self._shard_router
+        if router is not None:
+            schedule_message = router.schedule_message
+            for message in messages:
+                if not online.get(message.sender, False):
+                    self._dropped_messages += 1
+                    continue
+                schedule_message(
+                    total_delay(
+                        message.sender,
+                        message.recipient,
+                        message.size_bytes,
+                        bandwidth,
+                    ),
+                    deliver,
+                    message,
+                )
+            return
+        schedule = self.clock.schedule
         for message in messages:
             if not online.get(message.sender, False):
                 self._dropped_messages += 1

@@ -31,16 +31,19 @@ _ARGS = 3
 class EventHandle:
     """A cancellation handle for a scheduled event."""
 
-    __slots__ = ("_entry",)
+    __slots__ = ("_entry", "_clock")
 
-    def __init__(self, entry: list) -> None:
+    def __init__(self, entry: list, clock: "SimClock | None" = None) -> None:
         self._entry = entry
+        self._clock = clock
 
     def cancel(self) -> bool:
         """Cancel the event; returns ``False`` when already run/cancelled."""
         if self._entry[_CALLBACK] is None:
             return False
         self._entry[_CALLBACK] = None
+        if self._clock is not None:
+            self._clock._note_cancel()
         return True
 
     @property
@@ -69,6 +72,7 @@ class SimClock:
         self._next_seq = 0
         self._max_events = max_events
         self._processed = 0
+        self._live = 0
         self._tracer = None
 
     # -------------------------------------------------------------- queries
@@ -79,8 +83,17 @@ class SimClock:
 
     @property
     def pending(self) -> int:
-        """Number of not-yet-cancelled events still queued."""
-        return sum(1 for e in self._heap if e[_CALLBACK] is not None)
+        """Number of not-yet-cancelled events still queued.
+
+        Maintained as a live counter (incremented on push, decremented on
+        cancel/pop) so runner drain checks are O(1) instead of an O(heap)
+        scan per call.
+        """
+        return self._live
+
+    def _note_cancel(self) -> None:
+        """An :class:`EventHandle` cancelled one of our live entries."""
+        self._live -= 1
 
     @property
     def processed(self) -> int:
@@ -112,7 +125,8 @@ class SimClock:
         self._next_seq = seq + 1
         entry = [time, seq, callback, args]
         heappush(self._heap, entry)
-        return EventHandle(entry)
+        self._live += 1
+        return EventHandle(entry, self)
 
     # ------------------------------------------------------- instrumentation
     def attach_tracer(self, tracer) -> None:
@@ -133,6 +147,10 @@ class SimClock:
             callback = entry[_CALLBACK]
             if callback is None:
                 continue
+            # Null the slot so a late cancel() on the handle reports
+            # "already run" instead of decrementing the live counter.
+            entry[_CALLBACK] = None
+            self._live -= 1
             self._now = entry[_TIME]
             self._processed += 1
             if self._processed > self._max_events:

@@ -1,0 +1,70 @@
+"""Wall-cost profiles from exported Chrome traces.
+
+The tracer stamps every simclock callback with its wall cost
+(``cat == "callback"``, ``args.wall_us`` — see
+:meth:`~repro.obs.tracer.Tracer.callback_event`), so an exported trace
+doubles as a sampling-free profile of where a run's real time went.
+This module folds those spans into per-callback totals; ``repro trace
+profile FILE`` renders the ranked table.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import ObservabilityError
+
+
+@dataclass(frozen=True)
+class CallbackProfile:
+    """Aggregated wall cost of one callback qualname."""
+
+    name: str
+    calls: int
+    total_us: float
+    max_us: float
+
+    @property
+    def mean_us(self) -> float:
+        return self.total_us / self.calls if self.calls else 0.0
+
+
+def profile_chrome_trace(path: str | Path) -> list[CallbackProfile]:
+    """Fold a Chrome trace's callback spans into per-name wall totals.
+
+    Returns profiles sorted by descending total wall cost (name breaks
+    ties, so equal-cost rows render stably).  Traces recorded with
+    ``--no-callback-spans`` contain no callback events and yield an
+    empty list.
+    """
+    try:
+        document = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        raise ObservabilityError(f"cannot read trace {path}: {exc}") from exc
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        raise ObservabilityError(
+            f"{path} is not a Chrome trace (no traceEvents array)"
+        )
+    totals: dict[str, list[float]] = {}
+    for event in events:
+        if event.get("cat") != "callback":
+            continue
+        wall = event.get("args", {}).get("wall_us")
+        if wall is None:
+            continue
+        bucket = totals.setdefault(event["name"], [0, 0.0, 0.0])
+        bucket[0] += 1
+        bucket[1] += wall
+        bucket[2] = max(bucket[2], wall)
+    profiles = [
+        CallbackProfile(name, int(calls), total, peak)
+        for name, (calls, total, peak) in totals.items()
+    ]
+    profiles.sort(key=lambda p: (-p.total_us, p.name))
+    return profiles
+
+
+__all__ = ["CallbackProfile", "profile_chrome_trace"]

@@ -1,0 +1,139 @@
+"""Pluggable simulation backends: serial single-heap vs sharded lanes.
+
+A :class:`SimulationBackend` decides what clock a fresh
+:class:`~repro.net.network.Network` runs on.  :class:`SerialBackend`
+is the default and produces the original single-heap
+:class:`~repro.net.simclock.SimClock` — byte-identical behaviour, so
+every golden pin and bench baseline holds untouched.
+:class:`ParallelBackend` produces a
+:class:`~repro.net.shard.ShardedClock` whose per-cluster event lanes
+drain on worker threads under conservative lookahead synchronization
+(see :mod:`repro.net.shard` for the protocol and determinism argument).
+
+Backends reach deployments the same way tracers do (compare
+:func:`repro.obs.tracer.active_tracer`): an *active backend* module
+global, scoped with :func:`backend_scope`, consulted by
+``Network.__init__`` when no explicit clock is passed.  That indirection
+matters because the bench workloads construct their deployments
+internally — there is no seam to hand them a clock directly.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Protocol, runtime_checkable
+
+from repro.errors import ConfigurationError
+from repro.net.shard import ShardedClock
+from repro.net.simclock import SimClock
+
+#: CLI-facing backend names.
+BACKEND_NAMES = ("serial", "parallel")
+
+
+@runtime_checkable
+class SimulationBackend(Protocol):
+    """Anything that can supply clocks for new networks."""
+
+    name: str
+
+    def make_clock(self) -> SimClock:
+        """A fresh clock for one network/deployment."""
+        ...
+
+
+class SerialBackend:
+    """Today's single-heap drain; the default, byte-identical."""
+
+    name = "serial"
+
+    def make_clock(self) -> SimClock:
+        """See :meth:`SimulationBackend.make_clock`."""
+        return SimClock()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "SerialBackend()"
+
+
+class ParallelBackend:
+    """Cluster-sharded lanes on ``workers`` threads.
+
+    Same-seed runs produce simulated metrics identical to
+    :class:`SerialBackend`; only wall-clock behaviour differs.  With
+    ``workers=1`` the lane/mailbox protocol still runs (useful for
+    debugging the sharded schedule) but every window drains inline.
+    """
+
+    name = "parallel"
+
+    def __init__(self, workers: int = 2) -> None:
+        if workers < 1:
+            raise ConfigurationError(f"need at least one worker ({workers=})")
+        self.workers = workers
+
+    def make_clock(self) -> SimClock:
+        """See :meth:`SimulationBackend.make_clock`."""
+        return ShardedClock(workers=self.workers)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ParallelBackend(workers={self.workers})"
+
+
+def parse_backend(
+    name: str | None, workers: int = 2
+) -> SimulationBackend | None:
+    """Resolve a CLI ``--backend`` choice; ``None``/``"serial"`` maps to
+    ``None`` so callers can skip scoping entirely on the default path."""
+    if name is None or name == "serial":
+        return None
+    if name == "parallel":
+        return ParallelBackend(workers=workers)
+    raise ConfigurationError(
+        f"unknown backend {name!r}; choose from {BACKEND_NAMES}"
+    )
+
+
+# --------------------------------------------------------------- context
+_ACTIVE: SimulationBackend | None = None
+
+
+def active_backend() -> SimulationBackend | None:
+    """The backend new networks should draw clocks from, or ``None``."""
+    return _ACTIVE
+
+
+def activate(backend: SimulationBackend) -> None:
+    """Make ``backend`` the active backend for new networks.
+
+    Raises:
+        ConfigurationError: when a different backend is already active.
+    """
+    global _ACTIVE
+    if _ACTIVE is not None and _ACTIVE is not backend:
+        raise ConfigurationError("another backend is already active")
+    _ACTIVE = backend
+
+
+def deactivate() -> None:
+    """Clear the active backend."""
+    global _ACTIVE
+    _ACTIVE = None
+
+
+@contextmanager
+def backend_scope(
+    backend: SimulationBackend | None,
+) -> Iterator[SimulationBackend | None]:
+    """Scope ``backend`` as the active backend for the ``with`` body.
+
+    ``None`` is a no-op scope (the serial default), so call sites can
+    uniformly wrap deployment construction without branching.
+    """
+    if backend is None:
+        yield None
+        return
+    activate(backend)
+    try:
+        yield backend
+    finally:
+        deactivate()

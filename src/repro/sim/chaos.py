@@ -60,6 +60,12 @@ class ChaosConfig:
     partition: bool = False
     join_after: bool = True
     queries: int = 8
+    #: Simulation backend (``"serial"`` or ``"parallel"``).  Fault
+    #: injection couples a sharded clock into the serial-exact schedule,
+    #: so signatures are backend-independent by construction; the knob
+    #: exists to exercise exactly that property.
+    backend: str = "serial"
+    workers: int = 2
 
     def __post_init__(self) -> None:
         if self.n_blocks < 2:
@@ -156,7 +162,10 @@ def run_chaos(
         replication=config.replication,
         limits=limits,
     )
-    deployment = ICIDeployment(config.n_nodes, config=ici)
+    from repro.sim.backend import backend_scope, parse_backend
+
+    with backend_scope(parse_backend(config.backend, config.workers)):
+        deployment = ICIDeployment(config.n_nodes, config=ici)
     runner = ScenarioRunner(deployment, limits=limits, seed=config.seed)
     plan = FaultPlan(
         config=FaultConfig(
@@ -348,6 +357,9 @@ class EnduranceConfig:
     settle_seconds: float = 10.0
     queries: int = 8
     max_heal_rounds: int = 40
+    #: Simulation backend (see :class:`ChaosConfig.backend`).
+    backend: str = "serial"
+    workers: int = 2
 
     def __post_init__(self) -> None:
         if self.n_blocks < 2:
@@ -475,7 +487,10 @@ def run_endurance(
         replication=config.replication,
         limits=limits,
     )
-    deployment = ICIDeployment(config.n_nodes, config=ici)
+    from repro.sim.backend import backend_scope, parse_backend
+
+    with backend_scope(parse_backend(config.backend, config.workers)):
+        deployment = ICIDeployment(config.n_nodes, config=ici)
     runner = ScenarioRunner(deployment, limits=limits, seed=config.seed)
     plan = FaultPlan(
         config=FaultConfig(

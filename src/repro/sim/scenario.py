@@ -25,7 +25,6 @@ from repro.net.latency import (
     UniformLatency,
 )
 from repro.net.network import Network
-from repro.net.simclock import SimClock
 
 #: Small limits suited to simulation benches: ~50 KB blocks keep event
 #: counts manageable while preserving every size *ratio* the paper cares
@@ -74,8 +73,12 @@ class Scenario:
 
 
 def build_network(scenario: Scenario) -> tuple[Network, list | None]:
-    """The fabric for a scenario; returns ``(network, coordinates)``."""
-    clock = SimClock()
+    """The fabric for a scenario; returns ``(network, coordinates)``.
+
+    The clock is left to :class:`Network`'s default, which consults the
+    active :mod:`simulation backend <repro.sim.backend>` — so scenarios
+    built inside a ``backend_scope`` run sharded.
+    """
     coordinates = None
     if scenario.latency == "constant":
         latency = ConstantLatency(0.05)
@@ -88,7 +91,7 @@ def build_network(scenario: Scenario) -> tuple[Network, list | None]:
             seed=scenario.seed,
         )
         latency = CoordinateLatency(coordinates)
-    return Network(clock=clock, latency=latency), coordinates
+    return Network(latency=latency), coordinates
 
 
 def build_deployment(scenario: Scenario) -> StorageDeployment:

@@ -1,0 +1,96 @@
+"""Serial/parallel backend parity: identical simulated metrics.
+
+The sharded backend's whole contract is that worker scheduling never
+leaks into the simulation story.  These tests drive real experiment
+kernels (e8 pipelined throughput, e17 scalability — both multi-cluster,
+both cross-shard-heavy) and the seeded chaos scenario under both
+backends and require the machine-independent simulated metrics to match
+exactly, not approximately.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.profile import QUICK
+from repro.bench.runner import discover_workloads
+from repro.bench.workload import simulated_metrics
+from repro.net.shard import ShardedClock
+from repro.sim.backend import (
+    ParallelBackend,
+    SerialBackend,
+    backend_scope,
+    parse_backend,
+)
+from repro.sim.chaos import ChaosConfig, run_chaos
+from repro.sim.runner import ScenarioRunner
+from repro.sim.scenario import Scenario
+
+PARITY_KERNELS = ("e8", "e17")
+
+
+def run_workload(workload, backend):
+    with backend_scope(backend):
+        outputs = workload.run(QUICK)
+    return {
+        label: simulated_metrics(deployment)
+        for label, deployment in outputs
+    }
+
+
+@pytest.fixture(scope="module")
+def kernels():
+    by_id = {w.bench_id: w for w in discover_workloads()}
+    return [by_id[bench_id] for bench_id in PARITY_KERNELS]
+
+
+class TestKernelParity:
+    @pytest.mark.parametrize("bench_id", PARITY_KERNELS)
+    def test_parallel_matches_serial_exactly(self, kernels, bench_id):
+        workload = next(w for w in kernels if w.bench_id == bench_id)
+        serial = run_workload(workload, None)
+        parallel = run_workload(workload, ParallelBackend(workers=2))
+        assert serial == parallel
+
+    def test_parallel_clock_really_shards(self):
+        """Guard against parity passing because nothing sharded."""
+        runner = ScenarioRunner.for_scenario(
+            Scenario(n_nodes=24, n_groups=4, replication=2, seed=3),
+            backend="parallel",
+            workers=2,
+        )
+        clock = runner.deployment.network.clock
+        assert isinstance(clock, ShardedClock)
+        runner.produce_blocks(3, txs_per_block=4)
+        assert not clock.coupled
+        # More than one node lane actually drained events.
+        assert len(clock.lane_times()) > 2
+
+
+class TestChaosParity:
+    def test_signatures_match_across_backends(self):
+        base = dict(seed=42, n_blocks=4, drop_rate=0.2, crash_count=1)
+        serial = run_chaos(ChaosConfig(**base, backend="serial"))
+        parallel = run_chaos(
+            ChaosConfig(**base, backend="parallel", workers=2)
+        )
+        assert serial.signature() == parallel.signature()
+
+
+class TestBackendSelection:
+    def test_parse_backend_names(self):
+        assert parse_backend(None) is None
+        assert parse_backend("serial") is None
+        backend = parse_backend("parallel", workers=3)
+        assert isinstance(backend, ParallelBackend)
+        assert backend.make_clock().workers == 3
+
+    def test_serial_backend_makes_plain_clock(self):
+        clock = SerialBackend().make_clock()
+        assert not isinstance(clock, ShardedClock)
+
+    def test_unknown_backend_rejected(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            parse_backend("quantum")

@@ -158,6 +158,18 @@ class TestDelivery:
         net.run()
         assert net.dropped_messages == 1
 
+    def test_unregister_drops_topology_entry(self, net):
+        """Regression: departed nodes used to linger in the peer map."""
+        wire(net, 3)
+        net.set_topology({0: (1, 2), 1: (0,), 2: (0,)})
+        net.unregister(2)
+        with pytest.raises(UnknownNodeError):
+            net.peers_of(2)
+        # Re-registering starts from a clean (empty) peer list, not the
+        # stale one.
+        net.register(2, Recorder(net))
+        assert net.peers_of(2) == ()
+
 
 class TestTopologyAccess:
     def test_peers_of_unknown_raises(self, net):

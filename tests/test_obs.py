@@ -469,6 +469,64 @@ class TestTraceCli:
         assert "ici" in capsys.readouterr().err
 
 
+class TestTraceProfile:
+    def export_trace(self, tmp_path):
+        tracer = Tracer()
+        clock = SimClock()
+        tracer.bind_clock(clock)
+
+        def cheap():
+            pass
+
+        def costly():
+            pass
+
+        tracer.callback_event(cheap, 1.0, 10e-6)
+        tracer.callback_event(costly, 1.5, 100e-6)
+        tracer.callback_event(costly, 2.0, 300e-6)
+        path = tmp_path / "trace.json"
+        path.write_text(json.dumps(to_chrome_trace(tracer)))
+        return path
+
+    def test_aggregates_wall_cost_per_callback(self, tmp_path):
+        from repro.obs.profile import profile_chrome_trace
+
+        profiles = profile_chrome_trace(self.export_trace(tmp_path))
+        assert [p.calls for p in profiles] == [2, 1]
+        top = profiles[0]
+        assert "costly" in top.name
+        assert top.total_us == pytest.approx(400.0)
+        assert top.max_us == pytest.approx(300.0)
+        assert top.mean_us == pytest.approx(200.0)
+
+    def test_rejects_non_trace_files(self, tmp_path):
+        from repro.errors import ObservabilityError
+        from repro.obs.profile import profile_chrome_trace
+
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text("{}")
+        with pytest.raises(ObservabilityError):
+            profile_chrome_trace(bogus)
+        with pytest.raises(ObservabilityError):
+            profile_chrome_trace(tmp_path / "missing.json")
+
+    def test_cli_renders_ranked_table(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = self.export_trace(tmp_path)
+        assert main(["trace", "profile", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "| callback | calls | total ms" in out
+        # Ranked: the expensive handler is listed first.
+        assert out.index("costly") < out.index("cheap")
+
+    def test_cli_requires_one_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["trace", "profile"]) == 2
+        assert "exactly one" in capsys.readouterr().err
+
+
 class TestCounterEvents:
     def make_tracer(self):
         tracer = Tracer()

@@ -72,6 +72,36 @@ class TestCancellation:
         assert handle.time == 3.0
 
 
+class TestPendingCounter:
+    """``pending`` is a live counter, not a heap scan."""
+
+    def test_tracks_schedule_run_and_cancel(self):
+        clock = SimClock()
+        handles = [clock.schedule(float(i + 1), lambda: None) for i in range(3)]
+        assert clock.pending == 3
+        assert handles[1].cancel()
+        assert clock.pending == 2
+        clock.run_until(1.0)
+        assert clock.pending == 1
+        clock.run()
+        assert clock.pending == 0
+        assert clock.processed == 2
+
+    def test_double_cancel_counts_once(self):
+        clock = SimClock()
+        handle = clock.schedule(1.0, lambda: None)
+        assert handle.cancel()
+        assert not handle.cancel()
+        assert clock.pending == 0
+
+    def test_cancel_after_fire_is_noop(self):
+        clock = SimClock()
+        handle = clock.schedule(1.0, lambda: None)
+        clock.run()
+        assert not handle.cancel()
+        assert clock.pending == 0
+
+
 class TestBoundedRuns:
     def test_run_until_stops_at_boundary(self):
         clock = SimClock()
