@@ -482,6 +482,48 @@ def render_endurance_summary(outcome) -> str:
                 or [("(none)", 0, "-", "-", "-", "-")],
             ),
         ]
+    if outcome.adaptive:
+        adaptive = outcome.adaptive
+        lines += [
+            "",
+            "## Adaptive replication",
+            "",
+            _md_table(
+                ["counter", "value"],
+                [
+                    (
+                        "tier census (hot/warm/cold)",
+                        f"{adaptive.get('hot_blocks', 0)}"
+                        f"/{adaptive.get('warm_blocks', 0)}"
+                        f"/{adaptive.get('cold_blocks', 0)}",
+                    ),
+                    (
+                        "heat refreshes",
+                        f"{adaptive.get('refreshes', 0)} "
+                        f"({adaptive.get('reclassifications', 0)} "
+                        "tier changes)",
+                    ),
+                    (
+                        "replicas shed",
+                        f"{adaptive.get('replicas_shed', 0)} "
+                        f"({adaptive.get('bytes_shed', 0)} bytes)",
+                    ),
+                    (
+                        "sheds blocked at the floor",
+                        adaptive.get("sheds_blocked", 0),
+                    ),
+                    (
+                        "floor violations",
+                        adaptive.get("floor_violations", 0),
+                    ),
+                    ("storm reads", adaptive.get("storm_reads", 0)),
+                    (
+                        "total ledger bytes",
+                        outcome.storage_total_bytes,
+                    ),
+                ],
+            ),
+        ]
     lines += [
         "",
         "## Exercised after heal",

@@ -36,11 +36,15 @@ class BenchWorkload:
         title: human-readable one-liner for reports.
         run: the kernel; must honour the profile via
             :meth:`~repro.bench.profile.BenchProfile.pick`.
+        tags: optional topic labels (``("heat", "adaptive")``); the CLI's
+            ``--filter`` matches them alongside bench ids, so related
+            kernels can be selected as a group.
     """
 
     bench_id: str
     title: str
     run: Callable[[BenchProfile], WorkloadOutput]
+    tags: Tuple[str, ...] = ()
 
 
 def simulated_metrics(deployment) -> dict:

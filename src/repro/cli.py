@@ -50,6 +50,11 @@ _EXPERIMENTS = [
     ("E15", "Vivaldi clustering", "bench_e15_vivaldi_clustering.py"),
     ("E16", "Byzantine tolerance", "bench_e16_byzantine_tolerance.py"),
     ("E17", "per-node cost scalability", "bench_e17_scalability.py"),
+    (
+        "E18",
+        "heat-aware adaptive replication",
+        "bench_e18_adaptive_replication.py",
+    ),
 ]
 
 
@@ -124,7 +129,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--filter",
         metavar="IDS",
-        help="comma-separated bench ids to run (e.g. e8,e17)",
+        help="comma-separated bench ids or tags to run (e.g. e8,heat)",
     )
     bench.add_argument(
         "--output-dir",
@@ -298,6 +303,24 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=5.0,
         help="anti-entropy sweep interval, virtual seconds (default 5)",
+    )
+    endurance.add_argument(
+        "--adaptive",
+        action="store_true",
+        help="enable heat-aware adaptive replication (Zipf reads drive "
+        "per-block tier targets; sweeps repair and shed to them)",
+    )
+    endurance.add_argument(
+        "--reads",
+        type=int,
+        default=4,
+        help="adaptive-mode Zipf reads per produced block (default 4)",
+    )
+    endurance.add_argument(
+        "--zipf",
+        type=float,
+        default=1.1,
+        help="adaptive-mode Zipf exponent over recency rank (default 1.1)",
     )
     endurance.add_argument(
         "--report",
@@ -567,19 +590,31 @@ def cmd_bench(args: argparse.Namespace) -> int:
     workloads = discover_workloads(repo_root / "benchmarks")
     if args.filter:
         wanted = {part.strip() for part in args.filter.split(",")}
-        workloads = [w for w in workloads if w.bench_id in wanted]
-        unknown = wanted - {w.bench_id for w in workloads}
+        # A filter term matches a bench id ("e18") or a workload tag
+        # ("heat"), so families of related kernels select as a group.
+        known = {w.bench_id for w in workloads}
+        for w in workloads:
+            known.update(w.tags)
+        unknown = wanted - known
         if unknown:
             print(
-                f"unknown bench ids: {', '.join(sorted(unknown))}",
+                f"unknown bench ids or tags: {', '.join(sorted(unknown))}",
                 file=sys.stderr,
             )
             return 2
+        workloads = [
+            w
+            for w in workloads
+            if w.bench_id in wanted or wanted & set(w.tags)
+        ]
     if args.list_workloads:
         print(
             render_table(
-                ["bench", "kernel"],
-                [(w.bench_id, w.title) for w in workloads],
+                ["bench", "kernel", "tags"],
+                [
+                    (w.bench_id, w.title, ",".join(w.tags) or "-")
+                    for w in workloads
+                ],
                 title=f"{len(workloads)} discovered workloads",
             )
         )
@@ -716,6 +751,9 @@ def cmd_endurance(args: argparse.Namespace) -> int:
         crash_count=args.crash_count,
         partition=args.partition,
         repair_cadence=args.cadence,
+        adaptive=args.adaptive,
+        reads_per_block=args.reads,
+        zipf_exponent=args.zipf,
         backend=args.backend,
         workers=args.workers,
     )
@@ -736,7 +774,12 @@ def cmd_endurance(args: argparse.Namespace) -> int:
             f"trace ({len(outcome.tracer)} events) written to {path}",
             file=sys.stderr,
         )
-    return 0 if outcome.integrity_restored else 1
+    ok = outcome.integrity_restored
+    if args.adaptive:
+        # Adaptive runs additionally gate on the tier-aware floor: a
+        # shed that left a block under-replicated must fail the run.
+        ok = ok and outcome.replica_floor_met
+    return 0 if ok else 1
 
 
 def _cmd_trace_diff(args: argparse.Namespace) -> int:

@@ -159,6 +159,13 @@ class ICIDeployment(StorageDeployment):
             )
         else:
             self.parity = None
+
+        # Heat-aware adaptive replication (opt-in; see repro.storage.heat).
+        # None keeps every engine on the fixed-r code path untouched.
+        self.heat = None
+        self.replication_planner = None
+        if self.config.adaptive_replication:
+            self.enable_adaptive_replication()
         self._seed_genesis(genesis)
 
     # ------------------------------------------------------------ plumbing
@@ -187,6 +194,31 @@ class ICIDeployment(StorageDeployment):
                 genesis.header, view.members, self.config.replication
             ):
                 self.nodes[holder].assign_body(genesis)
+
+    def enable_adaptive_replication(self, heat_config=None):
+        """Install heat tracking + the replication planner (idempotent).
+
+        Adds a :class:`~repro.storage.heat.HeatTracker` as a router
+        observer and hangs a :class:`~repro.storage.heat.
+        ReplicationPlanner` off the deployment; the anti-entropy engine
+        and the query engine pick the planner up through
+        ``deployment.replication_planner`` and switch to per-block
+        targets.  Returns the planner.
+        """
+        if self.replication_planner is not None:
+            return self.replication_planner
+        from repro.storage.heat import HeatTracker, ReplicationPlanner
+
+        tracker = HeatTracker(self.network.clock, heat_config)
+        self.router.add_observer(tracker)
+        planner = ReplicationPlanner(self, tracker, tracker.config)
+        self.heat = tracker
+        self.replication_planner = planner
+        # Inherit the repair engine's tracer when tracing is already on;
+        # later install_tracing() calls re-attach through the engine.
+        if self.repair._tracer is not None:
+            planner.attach_tracer(self.repair._tracer)
+        return planner
 
     def cluster_members(self, cluster_id: int) -> tuple[int, ...]:
         """Member ids of one cluster."""

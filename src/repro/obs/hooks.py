@@ -201,6 +201,35 @@ def record_cluster_storage(
     )
 
 
+def record_tier_storage(
+    tracer: Tracer,
+    deployment,
+    planner,
+    ts: float,
+    label: str = "",
+) -> None:
+    """Sample held body bytes per heat tier as counter events.
+
+    One ``ph: "C"`` sample per tier ("tier hot ledger bytes", …): charted
+    over virtual time the hot series grows as extra replicas land and the
+    cold series shrinks as the shed pass drains surplus copies — the
+    adaptive-replication storage claim made visible.  Called from the
+    planner's refresh, so the cadence matches the anti-entropy sweep.
+    """
+    totals = planner.tier_body_bytes()
+    for tier, total in totals.items():
+        name = f"tier {tier} ledger bytes"
+        if label:
+            name = f"{label} {name}"
+        tracer.counter(
+            name,
+            STORAGE_TRACK,
+            {"bytes": total},
+            ts=ts,
+            category="storage",
+        )
+
+
 def install_tracing(
     deployment,
     tracer: Tracer,

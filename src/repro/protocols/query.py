@@ -104,12 +104,20 @@ class QueryEngine(ProtocolEngine):
             record.completed_at = self.network.now
             return record
         header = node.store.header(block_hash)  # raises UnknownBlockError
-        holders = [
-            holder
-            for holder in deployment.holders_in_cluster(
+        planner = getattr(deployment, "replication_planner", None)
+        if planner is not None:
+            # Adaptive replication: the read plan follows the per-block
+            # tier target — hot blocks expose their extra replicas, cold
+            # blocks name exactly the keeper the shed pass retained.
+            assigned = planner.read_plan(
+                header, deployment.clusters.members_of(node.cluster_id)
+            )
+        else:
+            assigned = deployment.holders_in_cluster(
                 header, node.cluster_id
             )
-            if holder != requester_id
+        holders = [
+            holder for holder in assigned if holder != requester_id
         ]
         if self.network.faults is not None:
             # Under faults an assigned holder may itself have lost the
@@ -219,7 +227,18 @@ class QueryEngine(ProtocolEngine):
         ):
             return
         header = node.store.header(block.block_hash)
-        holders = self.deployment.holders_in_cluster(header, node.cluster_id)
+        planner = getattr(self.deployment, "replication_planner", None)
+        if planner is not None:
+            # Re-adopt only within the tier target, or a shed cold copy
+            # would ratchet back every time its ex-holder queried it.
+            holders = planner.read_plan(
+                header,
+                self.deployment.clusters.members_of(node.cluster_id),
+            )
+        else:
+            holders = self.deployment.holders_in_cluster(
+                header, node.cluster_id
+            )
         if node.node_id in holders:
             node.assign_body(block)
 

@@ -39,6 +39,22 @@ message kinds) but **dormant until** :meth:`AntiEntropyEngine.start`:
 with no sweep scheduled it sends nothing, schedules nothing, and touches
 no clock state, keeping fault-free simulated metrics byte-identical to
 the committed baseline.
+
+**Adaptive replication** (opt-in, :mod:`repro.storage.heat`): with a
+:class:`~repro.storage.heat.ReplicationPlanner` attached to the
+deployment, each sweep first refreshes the heat classification, then
+analyzes against *per-block* targets instead of the fixed ``r`` — and
+gains the inverse of repair: **shedding**.  A block observed above its
+tier target drops surplus copies (local deletes; no wire cost beyond
+the digests that discovered them), keeping exactly the placement
+function's top-``target`` members.  Shedding is idempotent (a second
+sweep over the same coverage finds nothing to drop) and guarded: it
+never leaves fewer than ``min(target, live)`` live copies, never fewer
+than one (the last in-cluster copy is also that cluster's contribution
+to cross-cluster coverage), skips blocks with an in-flight repair, and
+recounts actual live holders after every drop — a recount below the
+floor increments the planner's ``floor_violations`` counter, which the
+endurance audit pins at zero.
 """
 
 from __future__ import annotations
@@ -231,6 +247,11 @@ class AntiEntropyEngine(ProtocolEngine):
             self._sweep_handle = None
 
     @property
+    def planner(self):
+        """The deployment's replication planner (``None`` = fixed r)."""
+        return getattr(self.deployment, "replication_planner", None)
+
+    @property
     def idle(self) -> bool:
         """No re-replication currently in flight.
 
@@ -261,6 +282,11 @@ class AntiEntropyEngine(ProtocolEngine):
             return
         self.stats.sweeps += 1
         self._trace("repair_sweep", {"sweep": self.stats.sweeps})
+        planner = self.planner
+        if planner is not None:
+            # One consistent tier view per sweep: analysis and shedding
+            # below act on this classification until the next refresh.
+            planner.refresh(self.network.now)
         from repro.sim.faults import live_members
 
         deployment = self.deployment
@@ -414,9 +440,15 @@ class AntiEntropyEngine(ProtocolEngine):
         if not live:
             return
         live_set = set(live)
-        floor = min(deployment.config.replication, len(live))
+        planner = self.planner
+        base_replication = deployment.config.replication
         for header in deployment.ledger.store.iter_active_headers():
             block_hash = header.block_hash
+            if planner is None or header.is_genesis:
+                target = base_replication
+            else:
+                target = planner.target_for(block_hash)
+            floor = min(target, len(live))
             holders = {
                 m
                 for m in session.coverage.get(block_hash, ())
@@ -425,10 +457,18 @@ class AntiEntropyEngine(ProtocolEngine):
             missing = floor - len(holders)
             if missing <= 0:
                 self._first_detected.pop((cluster_id, block_hash), None)
+                if (
+                    planner is not None
+                    and not header.is_genesis
+                    and len(holders) > target
+                ):
+                    self._shed(
+                        planner, session, header, members, holders, target
+                    )
                 continue
             self._detect(cluster_id, block_hash, missing)
             targets = self._pick_targets(
-                header, members, live, holders, missing
+                header, members, live, holders, missing, target
             )
             if header.is_genesis:
                 # Genesis is a hardcoded constant (as in Bitcoin): every
@@ -473,12 +513,15 @@ class AntiEntropyEngine(ProtocolEngine):
         live: list[int],
         holders: set[int],
         missing: int,
+        replication: int | None = None,
     ) -> list[int]:
         """Live members owed a copy: placement-assigned first, then fill."""
+        if replication is None:
+            replication = self.deployment.config.replication
         assigned = [
             member
             for member in self.deployment.placement.holders(
-                header, members, self.deployment.config.replication
+                header, members, min(replication, len(members))
             )
             if member in set(live) and member not in holders
         ]
@@ -506,6 +549,90 @@ class AntiEntropyEngine(ProtocolEngine):
                 if len(sources) >= EXTERNAL_SOURCE_LIMIT:
                     break
         return sources
+
+    def _shed(
+        self,
+        planner,
+        session: _DigestSession,
+        header: BlockHeader,
+        members: tuple[int, ...],
+        holders: set[int],
+        target: int,
+    ) -> None:
+        """Drop surplus replicas of one over-target block (adaptive only).
+
+        Keeps exactly the placement function's top-``target`` members
+        (the same set the query engine's read plan and the deficit
+        filler use), dropping the rest — sorted order, so two same-seed
+        runs shed identically.  Every guard failure is counted instead
+        of forced: the floor is the planner's promise, not a best
+        effort.
+        """
+        from repro.sim.faults import live_members
+
+        block_hash = header.block_hash
+        if any(key[0] == block_hash for key in self._inflight):
+            return  # a repair is still converging this block; next sweep
+        deployment = self.deployment
+        cluster_id = session.cluster_id
+        keep_quota = max(target, 1)
+        keep = [
+            member
+            for member in deployment.placement.holders(
+                header, members, min(keep_quota, len(members))
+            )
+            if member in holders
+        ]
+        for member in sorted(holders):
+            if len(keep) >= keep_quota:
+                break
+            if member not in keep:
+                keep.append(member)
+        keep_set = set(keep)
+        live = live_members(self.network, sorted(members))
+        for member in sorted(holders - keep_set):
+            node = deployment.nodes.get(member)
+            if node is None or not node.store.has_body(block_hash):
+                continue  # stale digest: nothing to drop (idempotent)
+            survivors = sum(
+                1
+                for other in live
+                if other != member
+                and other in deployment.nodes
+                and deployment.nodes[other].store.has_body(block_hash)
+            )
+            floor = min(keep_quota, max(len(live), 1))
+            if survivors < floor:
+                # Dropping would break the replica floor — or orphan the
+                # cluster's last copy, which is also its contribution to
+                # cross-cluster coverage.  Refuse and count it.
+                planner.note_shed_blocked()
+                continue
+            freed = node.unassign_body(block_hash)
+            planner.note_shed(block_hash, freed)
+            self._trace(
+                "replica_shed",
+                {
+                    "cluster": cluster_id,
+                    "block": block_hash.hex()[:12],
+                    "member": member,
+                    "bytes": freed,
+                },
+            )
+            remaining = sum(
+                1
+                for other in live
+                if other in deployment.nodes
+                and deployment.nodes[other].store.has_body(block_hash)
+            )
+            if remaining < floor:
+                planner.note_floor_violation()
+            if self._tracer is not None:
+                from repro.obs.hooks import record_cluster_storage
+
+                record_cluster_storage(
+                    self._tracer, deployment, cluster_id, self.network.now
+                )
 
     def _mark_unrecoverable(self, cluster_id: int, block_hash: Hash32) -> None:
         key = (cluster_id, block_hash)
@@ -619,6 +746,9 @@ class AntiEntropyEngine(ProtocolEngine):
     def attach_tracer(self, tracer: "Tracer | None") -> None:
         """Mirror audit/repair decisions into a tracer (``None`` detaches)."""
         self._tracer = tracer
+        planner = self.planner
+        if planner is not None:
+            planner.attach_tracer(tracer)
 
     def _trace(self, name: str, args: dict | None = None) -> None:
         if self._tracer is None:

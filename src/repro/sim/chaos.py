@@ -357,6 +357,16 @@ class EnduranceConfig:
     settle_seconds: float = 10.0
     queries: int = 8
     max_heal_rounds: int = 40
+    #: Heat-aware adaptive replication (:mod:`repro.storage.heat`).
+    #: When on, a Zipf-skewed read stream runs through the storm so heat
+    #: is non-uniform, the anti-entropy sweep sheds as well as repairs,
+    #: and the audit checks *per-tier* replica floors.  Off by default:
+    #: the fixed-r path must stay byte-identical (golden pins).
+    adaptive: bool = False
+    reads_per_block: int = 4
+    zipf_exponent: float = 1.1
+    #: Optional heat-model override (``None`` = HeatConfig defaults).
+    heat: "object | None" = None
     #: Simulation backend (see :class:`ChaosConfig.backend`).
     backend: str = "serial"
     workers: int = 2
@@ -370,6 +380,10 @@ class EnduranceConfig:
             raise ConfigurationError("counts must be >= 0")
         if self.max_heal_rounds < 1:
             raise ConfigurationError("max_heal_rounds must be >= 1")
+        if self.reads_per_block < 0:
+            raise ConfigurationError("reads_per_block must be >= 0")
+        if self.zipf_exponent <= 0:
+            raise ConfigurationError("zipf_exponent must be > 0")
 
 
 @dataclass
@@ -400,6 +414,13 @@ class EnduranceOutcome:
     queries_degraded: int = 0
     cluster_integrity: dict[int, bool] = field(default_factory=dict)
     replica_floor_met: bool = False
+    #: Adaptive-replication counters (``AdaptiveStats.as_dict()`` plus
+    #: tier counts and storm reads); empty on fixed-r runs, and only a
+    #: non-empty dict joins :meth:`signature` — so enabling the adaptive
+    #: path cannot move the fixed-r golden pins.
+    adaptive: dict[str, int] = field(default_factory=dict)
+    #: Network-wide ledger bytes at audit time (reports; not signed).
+    storage_total_bytes: int = 0
     virtual_seconds: float = 0.0
     events_processed: int = 0
     #: Not part of :meth:`signature` (floats derived from the same
@@ -424,7 +445,7 @@ class EnduranceOutcome:
 
     def signature(self) -> dict:
         """The determinism fingerprint: equal for equal (config, seed)."""
-        return {
+        signature = {
             "blocks_produced": self.blocks_produced,
             "joins": self.joins,
             "leaves": self.leaves,
@@ -447,6 +468,9 @@ class EnduranceOutcome:
             "virtual_seconds": self.virtual_seconds,
             "events_processed": self.events_processed,
         }
+        if self.adaptive:
+            signature["adaptive"] = dict(self.adaptive)
+        return signature
 
 
 def run_endurance(
@@ -491,6 +515,19 @@ def run_endurance(
 
     with backend_scope(parse_backend(config.backend, config.workers)):
         deployment = ICIDeployment(config.n_nodes, config=ici)
+    planner = None
+    reads = None
+    storm_reads = 0
+    if config.adaptive:
+        from repro.sim.workload import ReadWorkloadConfig, ZipfReadWorkload
+
+        planner = deployment.enable_adaptive_replication(config.heat)
+        reads = ZipfReadWorkload(
+            ReadWorkloadConfig(
+                seed=config.seed ^ 0x2EAD,
+                exponent=config.zipf_exponent,
+            )
+        )
     runner = ScenarioRunner(deployment, limits=limits, seed=config.seed)
     plan = FaultPlan(
         config=FaultConfig(
@@ -560,6 +597,18 @@ def run_endurance(
                     runner.schedule.remove(victim)
             for event in by_block.get(block_index, []):
                 driver._apply(event, churn)
+            if reads is not None and block_hashes:
+                # The Zipf read stream heats the tip while history cools;
+                # replies land whenever the weather lets them through.
+                node_ids = sorted(deployment.nodes)
+                for requester, block_hash in reads.reads(
+                    block_hashes, node_ids, config.reads_per_block
+                ):
+                    node = deployment.nodes[requester]
+                    if not node.store.has_header(block_hash):
+                        continue  # gossip hasn't reached it yet
+                    deployment.retrieve_block(requester, block_hash)
+                    storm_reads += 1
 
     outcome.blocks_produced = churn.blocks_produced
     outcome.joins = churn.joins
@@ -578,7 +627,7 @@ def run_endurance(
         repair.stop()
         reconcile(deployment, refetch_bodies=False)
         repair.start(cadence=config.repair_cadence)
-        last = (-1, -1)
+        last = (-1, -1, -1)
         quiet = 0
         for _ in range(config.max_heal_rounds):
             deployment.network.clock.run_for(config.repair_cadence)
@@ -586,6 +635,8 @@ def run_endurance(
             snapshot = (
                 repair.stats.under_replicated,
                 repair.stats.blocks_re_replicated,
+                # Adaptive runs also wait for shedding to go quiet.
+                planner.stats.replicas_shed if planner is not None else -1,
             )
             if snapshot == last and repair.idle:
                 quiet += 1
@@ -601,8 +652,13 @@ def run_endurance(
     with tracer.span("endurance:queries"):
         node_ids = sorted(deployment.nodes)
         for _ in range(config.queries):
-            requester = rng.choice(node_ids)
-            block_hash = rng.choice(block_hashes)
+            if reads is not None:
+                requester, block_hash = reads.next_read(
+                    block_hashes, node_ids
+                )
+            else:
+                requester = rng.choice(node_ids)
+                block_hash = rng.choice(block_hashes)
             record = deployment.retrieve_block(requester, block_hash)
             deployment.run()
             outcome.queries_attempted += 1
@@ -616,7 +672,13 @@ def run_endurance(
         outcome.cluster_integrity[view.cluster_id] = (
             deployment.cluster_holds_full_ledger(view.cluster_id)
         )
-    outcome.replica_floor_met = replica_floor_met(deployment)
+    if planner is not None:
+        outcome.replica_floor_met = adaptive_floor_met(deployment, planner)
+        outcome.adaptive = dict(planner.as_dict())
+        outcome.adaptive["storm_reads"] = storm_reads
+    else:
+        outcome.replica_floor_met = replica_floor_met(deployment)
+    outcome.storage_total_bytes = deployment.storage_report().total_bytes
     outcome.fault_stats = injector.stats.as_dict()
     stats = deployment.metrics.router_stats
     outcome.retries = dict(stats.retries)
@@ -657,6 +719,41 @@ def replica_floor_met(deployment: ICIDeployment) -> bool:
         if floor == 0:
             continue
         for header in headers:
+            holders = sum(
+                1
+                for member in live
+                if deployment.nodes[member].store.has_body(
+                    header.block_hash
+                )
+            )
+            if holders < floor:
+                return False
+    return True
+
+
+def adaptive_floor_met(deployment: ICIDeployment, planner) -> bool:
+    """Tier-aware replica floor: ``min(target, live)`` copies per block.
+
+    The adaptive counterpart of :func:`replica_floor_met`: each block's
+    floor follows its heat tier (hot above ``r``, cold down to 1 —
+    never zero, so every cluster still contributes a cross-cluster
+    copy).  Genesis keeps the base floor.
+    """
+    from repro.sim.faults import live_members
+
+    base = deployment.config.replication
+    headers = list(deployment.ledger.store.iter_active_headers())
+    for view in deployment.clusters.views():
+        live = live_members(deployment.network, sorted(view.members))
+        if not live:
+            continue
+        for header in headers:
+            target = (
+                base
+                if header.is_genesis
+                else planner.target_for(header.block_hash)
+            )
+            floor = min(max(target, 1), len(live))
             holders = sum(
                 1
                 for member in live

@@ -1,4 +1,4 @@
-"""Synthetic transaction workloads.
+"""Synthetic transaction and read workloads.
 
 Generates realistic UTXO traffic: a population of wallets pays each other
 random amounts, transaction sizes are padded to a configurable target
@@ -8,12 +8,22 @@ full validation paths run for real.
 The generator only ever spends *confirmed* outputs (callers feed blocks
 back via :meth:`TransactionWorkload.on_block_confirmed`), so the stream it
 produces is always valid against the canonical chain.
+
+:class:`ZipfReadWorkload` is the read-side counterpart: a seeded stream
+of block retrievals whose popularity follows a Zipf law over *recency
+rank* — the newest block is rank 1 and hottest, deep history is the
+long cold tail.  That skew is what makes access heat non-uniform, which
+is the whole point of adaptive replication (:mod:`repro.storage.heat`):
+under a flat read distribution there is nothing to tier.
 """
 
 from __future__ import annotations
 
+import bisect
+import itertools
 import random
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.chain.block import Block
 from repro.chain.transaction import (
@@ -180,3 +190,77 @@ class TransactionWorkload:
         base_estimate = 250
         pad = max(self.config.target_tx_bytes - base_estimate, 0)
         return bytes([amount % 251]) * pad
+
+
+@dataclass(frozen=True)
+class ReadWorkloadConfig:
+    """Shape of a Zipf-skewed block-read stream.
+
+    Attributes:
+        seed: RNG seed; equal seeds yield identical read sequences.
+        exponent: the Zipf ``s``: P(rank k) ∝ 1/k^s.  1.0–1.2 matches
+            measured blockchain explorer/API traffic (recent blocks
+            dominate, deep history is rarely touched).
+    """
+
+    seed: int = 0
+    exponent: float = 1.1
+
+    def __post_init__(self) -> None:
+        if self.exponent <= 0:
+            raise ConfigurationError("zipf exponent must be > 0")
+
+
+class ZipfReadWorkload:
+    """Seeded stream of (requester, block hash) reads, Zipf over recency.
+
+    Rank 1 is the **newest** block: popularity tracks recency, so as the
+    chain grows the heat moves with the tip and old blocks cool — the
+    access pattern adaptive replication is designed to exploit.  All
+    draws come from one private ``random.Random(seed)``, so the sequence
+    is a pure function of (seed, population sizes at each call).
+    """
+
+    def __init__(self, config: ReadWorkloadConfig | None = None) -> None:
+        self.config = config or ReadWorkloadConfig()
+        self._rng = random.Random(self.config.seed)
+        # Cumulative Zipf weights, extended lazily as populations grow;
+        # _cumulative[k-1] = sum over ranks 1..k of 1/rank^s.
+        self._cumulative: list[float] = []
+
+    def _extend_weights(self, n: int) -> None:
+        s = self.config.exponent
+        total = self._cumulative[-1] if self._cumulative else 0.0
+        for rank in range(len(self._cumulative) + 1, n + 1):
+            total += 1.0 / rank**s
+            self._cumulative.append(total)
+
+    def next_block(self, block_hashes: Sequence) -> object:
+        """Draw one block, Zipf-weighted toward the end of the list."""
+        n = len(block_hashes)
+        if n == 0:
+            raise ConfigurationError("cannot draw reads from zero blocks")
+        self._extend_weights(n)
+        point = self._rng.random() * self._cumulative[n - 1]
+        rank = bisect.bisect_right(self._cumulative, point, 0, n) + 1
+        # Rank 1 = newest: index from the end of the (height-ordered) list.
+        return block_hashes[n - min(rank, n)]
+
+    def next_read(
+        self, block_hashes: Sequence, node_ids: Sequence[int]
+    ) -> tuple[int, object]:
+        """One (requester, block hash) pair; requesters are uniform."""
+        requester = node_ids[self._rng.randrange(len(node_ids))]
+        return requester, self.next_block(block_hashes)
+
+    def reads(
+        self,
+        block_hashes: Sequence,
+        node_ids: Sequence[int],
+        count: int,
+    ) -> list[tuple[int, object]]:
+        """``count`` sequential reads against the current population."""
+        return [
+            self.next_read(block_hashes, node_ids)
+            for _ in itertools.repeat(None, count)
+        ]
