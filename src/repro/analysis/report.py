@@ -524,6 +524,51 @@ def render_endurance_summary(outcome) -> str:
                 ],
             ),
         ]
+    if outcome.archival:
+        archival = outcome.archival
+        lines += [
+            "",
+            "## Archival coding",
+            "",
+            _md_table(
+                ["counter", "value"],
+                [
+                    (
+                        "blocks archived / thawed",
+                        f"{archival.get('blocks_archived', 0)}"
+                        f"/{archival.get('blocks_thawed', 0)}",
+                    ),
+                    (
+                        "coded entries at end",
+                        f"{archival.get('archived_blocks', 0)} "
+                        f"({archival.get('chunk_bytes', 0)} chunk bytes)",
+                    ),
+                    (
+                        "chunks placed / repaired",
+                        f"{archival.get('chunks_placed', 0)}"
+                        f"/{archival.get('chunks_repaired', 0)}",
+                    ),
+                    (
+                        "lazy reconstructions",
+                        f"{archival.get('reconstructions', 0)} "
+                        f"({archival.get('failed_reconstructions', 0)} "
+                        "failed)",
+                    ),
+                    (
+                        "replica bytes freed",
+                        archival.get("replica_bytes_freed", 0),
+                    ),
+                    (
+                        "chunk bytes read (amplification)",
+                        archival.get("chunk_bytes_read", 0),
+                    ),
+                    (
+                        "floor deficits seen in sweeps",
+                        archival.get("floor_deficits", 0),
+                    ),
+                ],
+            ),
+        ]
     lines += [
         "",
         "## Exercised after heal",

@@ -55,6 +55,11 @@ _EXPERIMENTS = [
         "heat-aware adaptive replication",
         "bench_e18_adaptive_replication.py",
     ),
+    (
+        "E19",
+        "Reed-Solomon archival coding",
+        "bench_e19_archival_coding.py",
+    ),
 ]
 
 
@@ -309,6 +314,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="enable heat-aware adaptive replication (Zipf reads drive "
         "per-block tier targets; sweeps repair and shed to them)",
+    )
+    endurance.add_argument(
+        "--archival",
+        action="store_true",
+        help="enable the Reed-Solomon archival tier (implies --adaptive; "
+        "cold blocks become 3+1 coded chunk sets, audited against the "
+        "coded floor)",
     )
     endurance.add_argument(
         "--reads",
@@ -752,6 +764,7 @@ def cmd_endurance(args: argparse.Namespace) -> int:
         partition=args.partition,
         repair_cadence=args.cadence,
         adaptive=args.adaptive,
+        archival=args.archival,
         reads_per_block=args.reads,
         zipf_exponent=args.zipf,
         backend=args.backend,
@@ -775,9 +788,11 @@ def cmd_endurance(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
     ok = outcome.integrity_restored
-    if args.adaptive:
-        # Adaptive runs additionally gate on the tier-aware floor: a
-        # shed that left a block under-replicated must fail the run.
+    if args.adaptive or args.archival:
+        # Adaptive and archival runs additionally gate on the
+        # tier-aware floor: a shed that left a block under-replicated —
+        # or an archived block under its coded floor — must fail the
+        # run.
         ok = ok and outcome.replica_floor_met
     return 0 if ok else 1
 

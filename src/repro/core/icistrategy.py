@@ -164,6 +164,8 @@ class ICIDeployment(StorageDeployment):
         # None keeps every engine on the fixed-r code path untouched.
         self.heat = None
         self.replication_planner = None
+        # Coded archival tier (opt-in; see repro.storage.coded).
+        self.archival = None
         if self.config.adaptive_replication:
             self.enable_adaptive_replication()
         self._seed_genesis(genesis)
@@ -219,6 +221,29 @@ class ICIDeployment(StorageDeployment):
         if self.repair._tracer is not None:
             planner.attach_tracer(self.repair._tracer)
         return planner
+
+    def enable_archival_tier(self, archival_config=None):
+        """Install the coded archival tier (idempotent; implies adaptive).
+
+        The tier consumes the planner's cold classification, so adaptive
+        replication is enabled first when it isn't already.  The
+        anti-entropy engine picks the tier up through
+        ``deployment.archival``: cold blocks transition to k-of-n coded
+        chunks, and the query engine reconstructs them on demand when
+        its replica failover plan is exhausted.  Returns the tier.
+        """
+        if self.archival is not None:
+            return self.archival
+        from repro.storage.coded import ArchivalTier
+
+        planner = self.enable_adaptive_replication()
+        tier = ArchivalTier(self, planner, archival_config)
+        self.archival = tier
+        # Inherit the repair engine's tracer when tracing is already on;
+        # later install_tracing() calls re-attach through the engine.
+        if self.repair._tracer is not None:
+            tier.attach_tracer(self.repair._tracer)
+        return tier
 
     def cluster_members(self, cluster_id: int) -> tuple[int, ...]:
         """Member ids of one cluster."""

@@ -177,16 +177,16 @@ class ParityManager:
         Reads each surviving group member's body from any live in-cluster
         holder and folds the parity chunk.  Returns ``None`` (and records
         the loss) when a second body of the same group is also gone or
-        the parity holder is offline.
+        the parity holder is offline.  Survivor reads are charged to the
+        report even when the attempt then fails on the parity holder —
+        the bytes really crossed the wire before the failure was known,
+        same as the partial reads charged on a missing-survivor abort.
         """
         group_id = self._group_of.get((cluster_id, block_hash))
         if group_id is None:
             report.unrecoverable.append(block_hash)
             return None
         sealed = self._sealed[group_id]
-        if not deployment.network.is_online(sealed.parity_holder):
-            report.unrecoverable.append(block_hash)
-            return None
         surviving: dict[bytes, bytes] = {}
         members = deployment.clusters.members_of(cluster_id)
         for member_hash in sealed.group.member_ids:
@@ -198,6 +198,9 @@ class ParityManager:
                 return None
             surviving[member_hash] = body
             report.bytes_read += len(body)
+        if not deployment.network.is_online(sealed.parity_holder):
+            report.unrecoverable.append(block_hash)
+            return None
         report.parity_bytes_read += len(sealed.group.parity)
         raw = recover_chunk(sealed.group, block_hash, surviving)
         header = deployment.ledger.store.header(block_hash)

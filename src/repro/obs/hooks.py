@@ -230,6 +230,31 @@ def record_tier_storage(
         )
 
 
+def record_coded_storage(
+    tracer: Tracer,
+    tier,
+    ts: float,
+    label: str = "",
+) -> None:
+    """Sample the archival tier's total coded bytes as a counter event.
+
+    One ``ph: "C"`` series ("tier archival coded bytes"): charted over
+    virtual time it rises as cold blocks transition to k-of-n chunks
+    and falls as blocks thaw back to replicas — the coded-tier storage
+    claim made visible next to the per-tier replica series.
+    """
+    name = "tier archival coded bytes"
+    if label:
+        name = f"{label} {name}"
+    tracer.counter(
+        name,
+        STORAGE_TRACK,
+        {"bytes": tier.total_chunk_bytes},
+        ts=ts,
+        category="storage",
+    )
+
+
 def install_tracing(
     deployment,
     tracer: Tracer,

@@ -182,9 +182,34 @@ class QueryEngine(ProtocolEngine):
     def _mark_degraded(
         self, record: QueryRecord, request: PendingRequest
     ) -> None:
-        """All replicas exhausted: the record carries the degraded verdict."""
+        """All replicas exhausted: reconstruct from the archival tier,
+        or carry the degraded verdict on the record."""
         self._mirror(record, request)
+        if self._reconstruct_from_archive(record):
+            return
         record.degraded = True
+
+    def _reconstruct_from_archive(self, record: QueryRecord) -> bool:
+        """The failover tail's last resort: decode a coded cold block.
+
+        With the archival tier enabled a cold block holds **zero** full
+        replicas in the requester's cluster — every planned holder
+        misses by design, and the query completes here instead, charged
+        as ``k`` chunk reads on the tier.  The decoded body is not
+        re-adopted as a replica (cold blocks stay coded until the
+        planner rewarms them).
+        """
+        tier = getattr(self.deployment, "archival", None)
+        if tier is None:
+            return False
+        node = self.deployment.nodes.get(record.requester)
+        if node is None:
+            return False
+        block = tier.reconstruct(node.cluster_id, record.block_hash)
+        if block is None:
+            return False
+        record.completed_at = self.network.now
+        return True
 
     def on_miss(self, request_id: int) -> None:
         """A holder answered "miss": advance to the next holder now."""

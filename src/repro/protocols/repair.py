@@ -252,6 +252,11 @@ class AntiEntropyEngine(ProtocolEngine):
         return getattr(self.deployment, "replication_planner", None)
 
     @property
+    def archival(self):
+        """The deployment's coded archival tier (``None`` = replicas only)."""
+        return getattr(self.deployment, "archival", None)
+
+    @property
     def idle(self) -> bool:
         """No re-replication currently in flight.
 
@@ -441,9 +446,26 @@ class AntiEntropyEngine(ProtocolEngine):
             return
         live_set = set(live)
         planner = self.planner
+        tier = self.archival
         base_replication = deployment.config.replication
         for header in deployment.ledger.store.iter_active_headers():
             block_hash = header.block_hash
+            if tier is not None and not header.is_genesis:
+                if tier.is_archived(cluster_id, block_hash):
+                    # Coded blocks are the tier's to keep: re-home dead
+                    # chunks / thaw re-warmed blocks, and skip the
+                    # replica deficit/shed analysis (zero full replicas
+                    # is their *correct* state).
+                    tier.maintain(cluster_id, header, live)
+                    continue
+                if (
+                    tier.should_archive(cluster_id, block_hash)
+                    and not any(
+                        key[0] == block_hash for key in self._inflight
+                    )
+                    and tier.archive(cluster_id, header, live)
+                ):
+                    continue
             if planner is None or header.is_genesis:
                 target = base_replication
             else:
@@ -749,6 +771,9 @@ class AntiEntropyEngine(ProtocolEngine):
         planner = self.planner
         if planner is not None:
             planner.attach_tracer(tracer)
+        tier = self.archival
+        if tier is not None:
+            tier.attach_tracer(tracer)
 
     def _trace(self, name: str, args: dict | None = None) -> None:
         if self._tracer is None:

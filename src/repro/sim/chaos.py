@@ -367,6 +367,16 @@ class EnduranceConfig:
     zipf_exponent: float = 1.1
     #: Optional heat-model override (``None`` = HeatConfig defaults).
     heat: "object | None" = None
+    #: Coded archival tier (:mod:`repro.storage.coded`).  Implies the
+    #: adaptive path (the tier consumes the planner's cold signal): cold
+    #: blocks transition to k-of-n Reed–Solomon chunks, queries decode
+    #: them on demand, and the audit additionally holds the **coded
+    #: floor** (≥ k live chunks per archived block, never co-located).
+    #: Off by default: adaptive-without-archival runs must stay
+    #: byte-identical (golden pins).
+    archival: bool = False
+    #: Optional code-shape override (``None`` = ArchivalConfig defaults).
+    archival_code: "object | None" = None
     #: Simulation backend (see :class:`ChaosConfig.backend`).
     backend: str = "serial"
     workers: int = 2
@@ -419,6 +429,10 @@ class EnduranceOutcome:
     #: non-empty dict joins :meth:`signature` — so enabling the adaptive
     #: path cannot move the fixed-r golden pins.
     adaptive: dict[str, int] = field(default_factory=dict)
+    #: Archival-tier counters (``ArchivalStats.as_dict()``); empty
+    #: unless the coded tier ran, and only a non-empty dict joins
+    #: :meth:`signature` — same opt-in discipline as ``adaptive``.
+    archival: dict[str, int] = field(default_factory=dict)
     #: Network-wide ledger bytes at audit time (reports; not signed).
     storage_total_bytes: int = 0
     virtual_seconds: float = 0.0
@@ -470,6 +484,8 @@ class EnduranceOutcome:
         }
         if self.adaptive:
             signature["adaptive"] = dict(self.adaptive)
+        if self.archival:
+            signature["archival"] = dict(self.archival)
         return signature
 
 
@@ -516,9 +532,10 @@ def run_endurance(
     with backend_scope(parse_backend(config.backend, config.workers)):
         deployment = ICIDeployment(config.n_nodes, config=ici)
     planner = None
+    tier = None
     reads = None
     storm_reads = 0
-    if config.adaptive:
+    if config.adaptive or config.archival:
         from repro.sim.workload import ReadWorkloadConfig, ZipfReadWorkload
 
         planner = deployment.enable_adaptive_replication(config.heat)
@@ -528,6 +545,8 @@ def run_endurance(
                 exponent=config.zipf_exponent,
             )
         )
+    if config.archival:
+        tier = deployment.enable_archival_tier(config.archival_code)
     runner = ScenarioRunner(deployment, limits=limits, seed=config.seed)
     plan = FaultPlan(
         config=FaultConfig(
@@ -627,7 +646,7 @@ def run_endurance(
         repair.stop()
         reconcile(deployment, refetch_bodies=False)
         repair.start(cadence=config.repair_cadence)
-        last = (-1, -1, -1)
+        last = (-1, -1, -1, -1)
         quiet = 0
         for _ in range(config.max_heal_rounds):
             deployment.network.clock.run_for(config.repair_cadence)
@@ -637,6 +656,18 @@ def run_endurance(
                 repair.stats.blocks_re_replicated,
                 # Adaptive runs also wait for shedding to go quiet.
                 planner.stats.replicas_shed if planner is not None else -1,
+                # Archival runs also wait for the coded tier to go quiet
+                # (archives, chunk re-homes, and thaws all settled); the
+                # constant -1 without a tier keeps the quietness
+                # equality — and every non-archival signature — exactly
+                # as before.
+                (
+                    tier.stats.blocks_archived
+                    + tier.stats.chunks_repaired
+                    + tier.stats.blocks_thawed
+                    if tier is not None
+                    else -1
+                ),
             )
             if snapshot == last and repair.idle:
                 quiet += 1
@@ -669,16 +700,38 @@ def run_endurance(
 
     # Phase 4: audit.
     for view in deployment.clusters.views():
-        outcome.cluster_integrity[view.cluster_id] = (
-            deployment.cluster_holds_full_ledger(view.cluster_id)
+        if tier is not None:
+            # Archived blocks legitimately hold zero full replicas; a
+            # cluster is whole when every body is held *or* decodable
+            # from ≥ k live chunks.
+            outcome.cluster_integrity[view.cluster_id] = (
+                archival_cluster_integrity(
+                    deployment, tier, view.cluster_id
+                )
+            )
+        else:
+            outcome.cluster_integrity[view.cluster_id] = (
+                deployment.cluster_holds_full_ledger(view.cluster_id)
+            )
+    if tier is not None:
+        outcome.replica_floor_met = archival_floor_met(
+            deployment, planner, tier
         )
-    if planner is not None:
+        outcome.adaptive = dict(planner.as_dict())
+        outcome.adaptive["storm_reads"] = storm_reads
+        outcome.archival = dict(tier.as_dict())
+        outcome.archival["archived_blocks"] = tier.archived_blocks
+        outcome.archival["chunk_bytes"] = tier.total_chunk_bytes
+    elif planner is not None:
         outcome.replica_floor_met = adaptive_floor_met(deployment, planner)
         outcome.adaptive = dict(planner.as_dict())
         outcome.adaptive["storm_reads"] = storm_reads
     else:
         outcome.replica_floor_met = replica_floor_met(deployment)
     outcome.storage_total_bytes = deployment.storage_report().total_bytes
+    if tier is not None:
+        # Coded chunks live beside the replicas the report counts.
+        outcome.storage_total_bytes += tier.total_chunk_bytes
     outcome.fault_stats = injector.stats.as_dict()
     stats = deployment.metrics.router_stats
     outcome.retries = dict(stats.retries)
@@ -760,6 +813,71 @@ def adaptive_floor_met(deployment: ICIDeployment, planner) -> bool:
                 if deployment.nodes[member].store.has_body(
                     header.block_hash
                 )
+            )
+            if holders < floor:
+                return False
+    return True
+
+
+def archival_cluster_integrity(
+    deployment: ICIDeployment, tier, cluster_id: int
+) -> bool:
+    """Archival-aware integrity: every body held *or* reconstructable.
+
+    The coded tier's counterpart of
+    :meth:`~repro.core.icistrategy.ICIDeployment.cluster_holds_full_
+    ledger`: an archived block contributes through ≥ ``k`` live chunks
+    instead of a full replica.
+    """
+    members = deployment.clusters.members_of(cluster_id)
+    for header in deployment.ledger.store.iter_active_headers():
+        block_hash = header.block_hash
+        if any(
+            deployment.nodes[m].store.has_body(block_hash)
+            for m in members
+        ):
+            continue
+        if tier.can_reconstruct(cluster_id, block_hash):
+            continue
+        return False
+    return True
+
+
+def archival_floor_met(
+    deployment: ICIDeployment, planner, tier
+) -> bool:
+    """Tier-aware floor with the coded invariant for archived blocks.
+
+    Archived blocks must hold the **coded floor** — at least ``k`` live
+    chunks on distinct members; everything else keeps the adaptive
+    ``min(target, live)`` replica floor of :func:`adaptive_floor_met`.
+    """
+    from repro.sim.faults import live_members
+
+    base = deployment.config.replication
+    headers = list(deployment.ledger.store.iter_active_headers())
+    for view in deployment.clusters.views():
+        live = live_members(deployment.network, sorted(view.members))
+        if not live:
+            continue
+        for header in headers:
+            block_hash = header.block_hash
+            if not header.is_genesis and tier.is_archived(
+                view.cluster_id, block_hash
+            ):
+                if not tier.coded_floor_ok(view.cluster_id, block_hash):
+                    return False
+                continue
+            target = (
+                base
+                if header.is_genesis
+                else planner.target_for(block_hash)
+            )
+            floor = min(max(target, 1), len(live))
+            holders = sum(
+                1
+                for member in live
+                if deployment.nodes[member].store.has_body(block_hash)
             )
             if holders < floor:
                 return False

@@ -291,6 +291,39 @@ class TestParityExtension:
         assert recovery.bytes_read > 0
         assert recovery.parity_bytes_read > 0
 
+    def test_departed_parity_holder_still_charges_survivor_reads(self):
+        """Churn-then-recover: reads before the parity check are charged.
+
+        A group seals, churn removes the parity holder, and only then a
+        body is lost.  Recovery must fail (the parity chunk left with its
+        holder) — but the survivor bodies were read *before* the failure
+        was known, so ``bytes_read`` must count them, exactly as the
+        missing-survivor abort path charges its partial reads.
+        """
+        deployment, _ = self.make_parity_deployment()
+        parity = deployment.parity
+        # A group whose parity holder may depart (replication=1 clusters
+        # of 10: any member holding only its own replicas can leave).
+        group_id, sealed = next(iter(parity._sealed.items()))
+        deployment.leave_node(sealed.parity_holder)
+        deployment.run()
+        assert not deployment.network.is_online(sealed.parity_holder)
+        target = sealed.group.member_ids[0]
+        members = deployment.clusters.members_of(sealed.cluster_id)
+        for m in members:
+            deployment.nodes[m].unassign_body(target)
+        recovery = RecoveryReport()
+        block = parity.recover_block(
+            deployment, sealed.cluster_id, target, recovery
+        )
+        assert block is None
+        assert target in recovery.unrecoverable
+        assert recovery.bytes_read > 0, (
+            "survivor reads preceding the parity-holder failure "
+            "must be charged to the report"
+        )
+        assert recovery.parity_bytes_read == 0
+
     def test_flush_seals_partial_stripes(self):
         deployment, _ = deployed(
             n_nodes=20,
