@@ -107,6 +107,13 @@ def _section_router(deployment) -> str:
     stats = getattr(deployment.metrics, "router_stats", None)
     if stats is None or not stats.total_sends:
         return ""
+    # Every registered kind renders — zero-count rows included — so a
+    # freshly added (or dormant, e.g. disabled-overlay) message kind is
+    # visibly idle instead of silently missing from the post-mortem.
+    router = getattr(deployment, "router", None)
+    registered = {
+        kind.value for kind in getattr(router, "handled_kinds", ())
+    }
     rows = [
         (
             kind,
@@ -114,7 +121,9 @@ def _section_router(deployment) -> str:
             format_bytes(stats.send_bytes.get(kind, 0)),
             stats.deliveries.get(kind, 0),
         )
-        for kind in sorted(set(stats.sends) | set(stats.deliveries))
+        for kind in sorted(
+            set(stats.sends) | set(stats.deliveries) | registered
+        )
     ]
     rows.append(
         (
@@ -250,6 +259,58 @@ def render_bench_summary(payload: dict, comparison=None) -> str:
     return "\n".join(lines) + "\n"
 
 
+def _dht_overlay_lines(dht: dict) -> list[str]:
+    """The "## DHT overlay" section chaos/endurance summaries share."""
+    return [
+        "",
+        "## DHT overlay",
+        "",
+        _md_table(
+            ["counter", "value"],
+            [
+                (
+                    "iterative lookups",
+                    f"{dht.get('lookups_completed', 0)}"
+                    f"/{dht.get('lookups_started', 0)} completed "
+                    f"({dht.get('lookup_messages', 0)} messages, "
+                    f"{dht.get('lookup_hops', 0)} hops)",
+                ),
+                (
+                    "value lookups hit/miss",
+                    f"{dht.get('value_hits', 0)}"
+                    f"/{dht.get('value_misses', 0)} "
+                    f"(+{dht.get('local_hits', 0)} local-record hits)",
+                ),
+                (
+                    "records published",
+                    f"{dht.get('records_published', 0)} "
+                    f"({dht.get('stores_sent', 0)} STOREs, "
+                    f"{dht.get('records_expired', 0)} expired)",
+                ),
+                (
+                    "probe failures / evictions",
+                    f"{dht.get('probe_failures', 0)}"
+                    f"/{dht.get('contacts_evicted', 0)} "
+                    f"({dht.get('pings_sent', 0)} refresh pings)",
+                ),
+                ("joins via self-lookup", dht.get("joins", 0)),
+                (
+                    "table census",
+                    f"{dht.get('tables_audited', 0)} live tables, "
+                    f"{dht.get('contacts', 0)} contacts "
+                    f"({dht.get('stale_contacts', 0)} stale, "
+                    f"{dht.get('empty_tables', 0)} empty tables)",
+                ),
+                (
+                    "audit lookups",
+                    f"{dht.get('audit_lookups_ok', 0)}"
+                    f"/{dht.get('audit_lookups', 0)} resolved",
+                ),
+            ],
+        ),
+    ]
+
+
 def render_chaos_summary(outcome) -> str:
     """Markdown post-mortem of one :func:`repro.sim.chaos.run_chaos`."""
     config = outcome.config
@@ -325,6 +386,8 @@ def render_chaos_summary(outcome) -> str:
                 or [("(none)", 0, "-", "-", "-", "-")],
             ),
         ]
+    if getattr(outcome, "dht", None):
+        lines += _dht_overlay_lines(outcome.dht)
     lines += [
         "",
         "## Exercised under faults",
@@ -569,6 +632,8 @@ def render_endurance_summary(outcome) -> str:
                 ],
             ),
         ]
+    if getattr(outcome, "dht", None):
+        lines += _dht_overlay_lines(outcome.dht)
     lines += [
         "",
         "## Exercised after heal",

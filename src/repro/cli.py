@@ -60,6 +60,11 @@ _EXPERIMENTS = [
         "Reed-Solomon archival coding",
         "bench_e19_archival_coding.py",
     ),
+    (
+        "E20",
+        "DHT lookup vs broadcast",
+        "bench_e20_dht_lookup.py",
+    ),
 ]
 
 
@@ -227,6 +232,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="also cut a minority partition mid-run",
     )
     chaos.add_argument(
+        "--dht",
+        action="store_true",
+        help="enable the Kademlia-style DHT overlay (queries resolve "
+        "holders via FIND_VALUE; the audit adds a routing-table census "
+        "and a per-block lookup batch, and the exit code gates on it)",
+    )
+    chaos.add_argument(
         "--report",
         metavar="FILE",
         help="write the markdown summary to FILE as well as stdout",
@@ -333,6 +345,14 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=1.1,
         help="adaptive-mode Zipf exponent over recency rank (default 1.1)",
+    )
+    endurance.add_argument(
+        "--dht",
+        action="store_true",
+        help="enable the Kademlia-style DHT overlay (joins self-lookup, "
+        "queries resolve holders via FIND_VALUE, repair digests route "
+        "to XOR-nearest peers; the audit adds a routing-table census "
+        "and a per-block lookup batch, and the exit code gates on it)",
     )
     endurance.add_argument(
         "--report",
@@ -719,6 +739,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         crash_count=args.crash_count,
         stall_count=args.stall_count,
         partition=args.partition,
+        dht=args.dht,
         backend=args.backend,
         workers=args.workers,
     )
@@ -739,7 +760,14 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             f"trace ({len(outcome.tracer)} events) written to {path}",
             file=sys.stderr,
         )
-    return 0 if outcome.integrity_restored else 1
+    ok = outcome.integrity_restored
+    if args.dht:
+        # DHT runs additionally gate on the overlay audit: every
+        # post-heal lookup must resolve its block's holder record.
+        ok = ok and outcome.dht.get("audit_lookups_ok") == outcome.dht.get(
+            "audit_lookups"
+        )
+    return 0 if ok else 1
 
 
 def cmd_endurance(args: argparse.Namespace) -> int:
@@ -767,6 +795,7 @@ def cmd_endurance(args: argparse.Namespace) -> int:
         archival=args.archival,
         reads_per_block=args.reads,
         zipf_exponent=args.zipf,
+        dht=args.dht,
         backend=args.backend,
         workers=args.workers,
     )
@@ -794,6 +823,11 @@ def cmd_endurance(args: argparse.Namespace) -> int:
         # or an archived block under its coded floor — must fail the
         # run.
         ok = ok and outcome.replica_floor_met
+    if args.dht:
+        # DHT runs gate on the overlay audit, same as chaos --dht.
+        ok = ok and outcome.dht.get("audit_lookups_ok") == outcome.dht.get(
+            "audit_lookups"
+        )
     return 0 if ok else 1
 
 

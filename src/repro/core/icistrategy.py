@@ -143,6 +143,8 @@ class ICIDeployment(StorageDeployment):
         from repro.protocols.repair import AntiEntropyEngine
         from repro.protocols.sync import SyncEngine
 
+        from repro.dht.engine import DHTEngine
+
         self.dissemination = self.install_engine(DisseminationEngine(self))
         self.verification = self.install_engine(IntraClusterEngine(self))
         self.query = self.install_engine(QueryEngine(self))
@@ -150,6 +152,10 @@ class ICIDeployment(StorageDeployment):
         # Dormant until .start(): registers handlers only, schedules
         # nothing, so fault-free metrics stay byte-identical to baseline.
         self.repair = self.install_engine(AntiEntropyEngine(self))
+        # Same discipline: registers the DHT message kinds always (so
+        # router coverage and report schemas are uniform), but stays
+        # inert until enable_dht().
+        self.dht = self.install_engine(DHTEngine(self))
 
         if self.config.parity_group_size:
             from repro.core.parity import ParityManager
@@ -221,6 +227,19 @@ class ICIDeployment(StorageDeployment):
         if self.repair._tracer is not None:
             planner.attach_tracer(self.repair._tracer)
         return planner
+
+    def enable_dht(self, dht_config=None):
+        """Activate the Kademlia-style DHT overlay (idempotent).
+
+        The always-installed :class:`~repro.dht.engine.DHTEngine` wakes
+        up: routing tables are seeded and then maintained from observed
+        router traffic, provider records are published on every cluster
+        finalization, the query engine resolves holders via FIND_VALUE
+        before its legacy broadcast tail, bootstrap joins via iterative
+        self-lookup, and the anti-entropy engine exchanges digests with
+        DHT-nearest peers only.  Returns the engine.
+        """
+        return self.dht.enable(dht_config)
 
     def enable_archival_tier(self, archival_config=None):
         """Install the coded archival tier (idempotent; implies adaptive).

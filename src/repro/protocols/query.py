@@ -104,6 +104,22 @@ class QueryEngine(ProtocolEngine):
             record.completed_at = self.network.now
             return record
         header = node.store.header(block_hash)  # raises UnknownBlockError
+        dht = getattr(deployment, "dht", None)
+        if dht is not None and dht.enabled:
+            # Overlay resolution first: FIND_VALUE for the holder set,
+            # the legacy plan appended as the fallback tail (and used
+            # alone when the lookup misses).
+            self._retrieve_via_dht(record, node, header)
+            return record
+        self._begin(record, self._plan_holders(node, header, requester_id))
+        return record
+
+    def _plan_holders(
+        self, node: ClusterNode, header, requester_id: int
+    ) -> list[int]:
+        """The legacy holder plan: placement/planner + failover tail."""
+        deployment = self.deployment
+        block_hash = header.block_hash
         planner = getattr(deployment, "replication_planner", None)
         if planner is not None:
             # Adaptive replication: the read plan follows the per-block
@@ -139,6 +155,10 @@ class QueryEngine(ProtocolEngine):
                 if other != requester_id
                 and deployment.nodes[other].store.has_body(block_hash)
             ][:1]
+        return holders
+
+    def _begin(self, record: QueryRecord, holders: list[int]) -> None:
+        """Start the tracked fetch over ``holders`` (may be empty)."""
         if not holders:
             # Unresolvable; stays incomplete.  The empty-plan begin only
             # records the degraded result (no events scheduled).
@@ -150,7 +170,7 @@ class QueryEngine(ProtocolEngine):
                     record, request
                 ),
             )
-            return record
+            return
         self.query_plan[record.request_id] = holders
         self.tracker.begin(
             record.request_id,
@@ -160,7 +180,43 @@ class QueryEngine(ProtocolEngine):
             ),
             on_degraded=lambda request: self._mark_degraded(record, request),
         )
-        return record
+
+    def _retrieve_via_dht(
+        self, record: QueryRecord, node: ClusterNode, header
+    ) -> None:
+        """Resolve holders through the overlay, then fetch as usual.
+
+        The FIND_VALUE result orders in-cluster holders first (cheaper
+        fetch), then out-of-cluster record holders, then the legacy
+        plan's remainder as the broadcast tail — so a stale or partial
+        record degrades to exactly the pre-DHT behaviour instead of a
+        failed query.
+        """
+        deployment = self.deployment
+
+        def resolved(holders: "tuple[int, ...] | None") -> None:
+            if record.completed_at is not None or record.degraded:
+                return  # answered (or given up) while the lookup ran
+            plan: list[int] = []
+            if holders:
+                in_cluster = set(
+                    deployment.clusters.members_of(node.cluster_id)
+                )
+                plan = sorted(
+                    (
+                        h
+                        for h in holders
+                        if h != record.requester and h in deployment.nodes
+                    ),
+                    key=lambda h: (h not in in_cluster, h),
+                )
+            legacy = self._plan_holders(node, header, record.requester)
+            plan += [h for h in legacy if h not in plan]
+            self._begin(record, plan)
+
+        deployment.dht.find_holders(
+            record.requester, record.block_hash, resolved
+        )
 
     def _send_attempt(
         self, record: QueryRecord, request: PendingRequest, target: int

@@ -128,6 +128,7 @@ class _DigestSession:
         "pending",
         "coverage",
         "unresponsive",
+        "unpolled",
     )
 
     def __init__(self, cluster_id: int, coordinator: int) -> None:
@@ -141,6 +142,11 @@ class _DigestSession:
         # entirely (floor, holders, and targets) rather than invent
         # deficits a dropped digest would otherwise imply.
         self.unresponsive: set[int] = set()
+        # Members deliberately not polled this sweep (DHT digest
+        # routing caps fanout at the coordinator's overlay-nearest
+        # peers).  Same analysis treatment as unresponsive — unknown
+        # coverage, excluded — but not counted as digest failures.
+        self.unpolled: set[int] = set()
 
     def absorb(self, member: int, hashes: Sequence[Hash32]) -> None:
         """Fold one member's digest into the coverage map."""
@@ -295,6 +301,12 @@ class AntiEntropyEngine(ProtocolEngine):
         from repro.sim.faults import live_members
 
         deployment = self.deployment
+        dht = getattr(deployment, "dht", None)
+        if dht is not None and dht.enabled:
+            # Overlay maintenance rides the sweep cadence: expire lapsed
+            # provider records and republish due ones (no DHT timers of
+            # its own, so full run() drains still terminate).
+            dht.on_sweep()
         for view in sorted(
             deployment.clusters.views(), key=lambda v: v.cluster_id
         ):
@@ -303,13 +315,22 @@ class AntiEntropyEngine(ProtocolEngine):
                 continue
             coordinator = live[0]
             session = _DigestSession(view.cluster_id, coordinator)
-            session.pending = set(live[1:])
+            peers = live[1:]
+            if dht is not None and dht.enabled:
+                # Digest routing through the overlay: poll only the
+                # coordinator's DHT-nearest peers instead of the whole
+                # cluster; the rest are excluded from this sweep's
+                # analysis (unknown coverage, like unresponsive ones).
+                polled = dht.digest_peers(coordinator, peers)
+                session.unpolled = set(peers) - set(polled)
+                peers = polled
+            session.pending = set(peers)
             # The coordinator's own coverage needs no wire exchange.
             session.absorb(
                 coordinator,
                 self._local_digest(deployment.nodes[coordinator]),
             )
-            for member in live[1:]:
+            for member in peers:
                 self._request_digest(session, member)
             if not session.pending:
                 self._analyze(session)
@@ -437,10 +458,11 @@ class AntiEntropyEngine(ProtocolEngine):
             members = deployment.clusters.members_of(cluster_id)
         except Exception:  # cluster dissolved since the sweep started
             return
+        excluded = session.unresponsive | session.unpolled
         live = [
             m
             for m in live_members(self.network, sorted(members))
-            if m not in session.unresponsive
+            if m not in excluded
         ]
         if not live:
             return

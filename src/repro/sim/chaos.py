@@ -60,6 +60,13 @@ class ChaosConfig:
     partition: bool = False
     join_after: bool = True
     queries: int = 8
+    #: Kademlia-style DHT overlay (:mod:`repro.dht`): queries resolve
+    #: holders via FIND_VALUE, the join bootstraps by self-lookup, the
+    #: heal phase refreshes routing tables and republishes provider
+    #: records, and the audit adds a table-liveness census plus a
+    #: full lookup batch.  Off by default: non-DHT signatures must
+    #: stay byte-identical (golden pins).
+    dht: bool = False
     #: Simulation backend (``"serial"`` or ``"parallel"``).  Fault
     #: injection couples a sharded clock into the serial-exact schedule,
     #: so signatures are backend-independent by construction; the knob
@@ -95,6 +102,11 @@ class ChaosOutcome:
     bootstrap_complete: bool | None = None
     bootstrap_bodies_unavailable: int = 0
     cluster_integrity: dict[int, bool] = field(default_factory=dict)
+    #: DHT overlay counters + audit (``DHTStats.as_dict()`` merged with
+    #: the table census and the audit lookup batch); empty on non-DHT
+    #: runs, and only a non-empty dict joins :meth:`signature` — the
+    #: same opt-in discipline as the endurance outcome's ``adaptive``.
+    dht: dict[str, int] = field(default_factory=dict)
     virtual_seconds: float = 0.0
     events_processed: int = 0
     #: Per-kind delivery-latency percentiles (virtual time) from the
@@ -120,7 +132,7 @@ class ChaosOutcome:
         Covers every counter the fault and reliability layers produced;
         the chaos tests assert two same-seed runs match exactly.
         """
-        return {
+        signature = {
             "fault_stats": dict(self.fault_stats),
             "retries": dict(self.retries),
             "timeouts": dict(self.timeouts),
@@ -135,6 +147,9 @@ class ChaosOutcome:
             "virtual_seconds": self.virtual_seconds,
             "events_processed": self.events_processed,
         }
+        if self.dht:
+            signature["dht"] = dict(self.dht)
+        return signature
 
 
 #: Backoff pacing chaos runs install on the query tracker.
@@ -178,6 +193,11 @@ def run_chaos(
     )
     injector = plan.install(deployment.network)
     deployment.query.set_retry_policy(CHAOS_QUERY_POLICY)
+    if config.dht:
+        # Enabled before production so provider records publish
+        # organically as blocks finalize (the enable-time backfill only
+        # covers genesis here).
+        deployment.enable_dht()
     if tracer is None:
         tracer = Tracer()
     install_tracing(deployment, tracer)
@@ -229,6 +249,14 @@ def run_chaos(
         ):
             runner.schedule.add(victim)
         outcome.refetched_bodies = reconcile(deployment)
+        if config.dht:
+            # Overlay heal: tracked pings evict contacts that died in
+            # the storm, then a forced republish rebuilds provider
+            # records so post-storm lookups see fresh holder sets.
+            deployment.dht.refresh_all()
+            deployment.run()
+            deployment.dht.republish_all()
+            deployment.run()
 
     # Phase 5: a join and a query batch, still under lossy links.
     with tracer.span("join:queries"):
@@ -265,10 +293,45 @@ def run_chaos(
     outcome.retries = dict(stats.retries)
     outcome.timeouts = dict(stats.timeouts)
     outcome.degraded = dict(stats.degraded)
+    if config.dht:
+        _audit_dht(deployment, outcome, rng, block_hashes)
     outcome.virtual_seconds = deployment.network.now
     outcome.events_processed = deployment.network.clock.processed
     outcome.latency_percentiles = summarize(tracer).latency_percentiles()
     return outcome
+
+
+def _audit_dht(
+    deployment: ICIDeployment, outcome, rng: random.Random, block_hashes
+) -> None:
+    """Overlay audit: table-liveness census plus a full lookup batch.
+
+    Runs one iterative FIND_VALUE per produced block from a random live
+    requester and counts hits — under the acceptance chaos weather
+    (10% drop + a crash) every lookup must still succeed, which is what
+    the CLI exit gate and the E20 chaos leg pin.  The census and the
+    engine's own counters land on ``outcome.dht`` (signature opt-in).
+    """
+    from repro.dht.idspace import block_key
+    from repro.sim.faults import live_members
+
+    dht = deployment.dht
+    live = live_members(deployment.network, sorted(deployment.nodes))
+    if not live:
+        outcome.dht = {**dht.stats.as_dict(), **dht.audit_tables()}
+        return
+    lookups_ok = 0
+    for block_hash in block_hashes:
+        lookup = dht.lookup_value(rng.choice(live), block_key(block_hash))
+        deployment.run()
+        if lookup.value:
+            lookups_ok += 1
+    outcome.dht = {
+        **dht.stats.as_dict(),
+        **dht.audit_tables(),
+        "audit_lookups": len(block_hashes),
+        "audit_lookups_ok": lookups_ok,
+    }
 
 
 def reconcile(
@@ -377,6 +440,12 @@ class EnduranceConfig:
     archival: bool = False
     #: Optional code-shape override (``None`` = ArchivalConfig defaults).
     archival_code: "object | None" = None
+    #: Kademlia-style DHT overlay (:mod:`repro.dht`): joins bootstrap
+    #: by self-lookup, queries resolve holders via FIND_VALUE, repair
+    #: digests route to XOR-nearest peers, and the audit adds a
+    #: table-liveness census plus a full lookup batch.  Off by default:
+    #: non-DHT runs must stay byte-identical (golden pins).
+    dht: bool = False
     #: Simulation backend (see :class:`ChaosConfig.backend`).
     backend: str = "serial"
     workers: int = 2
@@ -433,6 +502,9 @@ class EnduranceOutcome:
     #: unless the coded tier ran, and only a non-empty dict joins
     #: :meth:`signature` — same opt-in discipline as ``adaptive``.
     archival: dict[str, int] = field(default_factory=dict)
+    #: DHT overlay counters + audit (see :class:`ChaosOutcome.dht`);
+    #: empty unless the overlay ran, same opt-in discipline.
+    dht: dict[str, int] = field(default_factory=dict)
     #: Network-wide ledger bytes at audit time (reports; not signed).
     storage_total_bytes: int = 0
     virtual_seconds: float = 0.0
@@ -486,6 +558,8 @@ class EnduranceOutcome:
             signature["adaptive"] = dict(self.adaptive)
         if self.archival:
             signature["archival"] = dict(self.archival)
+        if self.dht:
+            signature["dht"] = dict(self.dht)
         return signature
 
 
@@ -547,6 +621,8 @@ def run_endurance(
         )
     if config.archival:
         tier = deployment.enable_archival_tier(config.archival_code)
+    if config.dht:
+        deployment.enable_dht()
     runner = ScenarioRunner(deployment, limits=limits, seed=config.seed)
     plan = FaultPlan(
         config=FaultConfig(
@@ -678,6 +754,15 @@ def run_endurance(
             last = snapshot
         repair.stop()
         deployment.run()
+        if config.dht:
+            # Overlay heal: the sweep hook kept records fresh through
+            # the convergence rounds; the explicit ping pass evicts
+            # contacts that died (or left) in the storm, and the forced
+            # republish covers clusters whose membership churned.
+            deployment.dht.refresh_all()
+            deployment.run()
+            deployment.dht.republish_all()
+            deployment.run()
 
     # Phase 3: a query batch, still under lossy links.
     with tracer.span("endurance:queries"):
@@ -748,6 +833,8 @@ def run_endurance(
             "p50": percentile(times, 0.50),
             "p95": percentile(times, 0.95),
         }
+    if config.dht:
+        _audit_dht(deployment, outcome, rng, block_hashes)
     outcome.virtual_seconds = deployment.network.now
     outcome.events_processed = deployment.network.clock.processed
     outcome.latency_percentiles = summarize(tracer).latency_percentiles()
