@@ -311,6 +311,81 @@ def _dht_overlay_lines(dht: dict) -> list[str]:
     ]
 
 
+def _degraded_pct(outcome, kind: str) -> str:
+    """Degraded requests as a share of tracked sends for one kind.
+
+    ``outcome.sends`` is the per-kind ``RouterStats.sends`` capture;
+    kinds without a send count (or pre-capture outcomes) render ``-``.
+    """
+    sends = getattr(outcome, "sends", None) or {}
+    total = sends.get(kind, 0)
+    degraded = outcome.degraded.get(kind, 0)
+    if not total and not degraded:
+        return "-"
+    # Degrades are noted requester-side, so they can outnumber the
+    # *observed* sends of their kind (a responder that died before ever
+    # sending); the share is capped at 100% rather than extrapolated.
+    return f"{degraded / max(total, degraded):.1%}"
+
+
+def _protocol_recovery_table(outcome) -> str:
+    """The per-kind retry/timeout/degraded table both summaries share."""
+    kinds = sorted(
+        set(outcome.retries) | set(outcome.timeouts) | set(outcome.degraded)
+    )
+    return _md_table(
+        ["message kind", "retries", "timeouts", "degraded", "degraded %"],
+        [
+            (
+                kind,
+                outcome.retries.get(kind, 0),
+                outcome.timeouts.get(kind, 0),
+                outcome.degraded.get(kind, 0),
+                _degraded_pct(outcome, kind),
+            )
+            for kind in kinds
+        ]
+        or [("(none)", 0, 0, 0, "-")],
+    )
+
+
+def _failure_domain_lines(domains: dict) -> list[str]:
+    """The "## Failure domains" section chaos/endurance summaries share."""
+    diversity = (
+        "restored" if domains.get("diversity_met") else "NOT restored"
+    )
+    return [
+        "",
+        "## Failure domains",
+        "",
+        _md_table(
+            ["counter", "value"],
+            [
+                (
+                    "zone outage",
+                    f"zone {domains.get('zone_killed', -1)} of "
+                    f"{domains.get('zones', 0)} "
+                    f"({domains.get('outage_victims', 0)} victims)",
+                ),
+                (
+                    "live zones at audit",
+                    f"{domains.get('live_zones', 0)}"
+                    f"/{domains.get('zones', 0)}",
+                ),
+                (
+                    "placements short of full spread",
+                    domains.get("spread_deficit", 0),
+                ),
+                (
+                    "diversity repairs",
+                    domains.get("diversity_repairs", 0),
+                ),
+                ("**zone diversity**", f"**{diversity}**"),
+            ],
+        ),
+    ]
+
+
 def render_chaos_summary(outcome) -> str:
     """Markdown post-mortem of one :func:`repro.sim.chaos.run_chaos`."""
     config = outcome.config
@@ -345,24 +420,7 @@ def render_chaos_summary(outcome) -> str:
         "## Protocol recovery",
         "",
     ]
-    kinds = sorted(
-        set(outcome.retries) | set(outcome.timeouts) | set(outcome.degraded)
-    )
-    lines.append(
-        _md_table(
-            ["message kind", "retries", "timeouts", "degraded"],
-            [
-                (
-                    kind,
-                    outcome.retries.get(kind, 0),
-                    outcome.timeouts.get(kind, 0),
-                    outcome.degraded.get(kind, 0),
-                )
-                for kind in kinds
-            ]
-            or [("(none)", 0, 0, 0)],
-        )
-    )
+    lines.append(_protocol_recovery_table(outcome))
     percentiles = getattr(outcome, "latency_percentiles", None)
     if percentiles:
         lines += [
@@ -388,6 +446,8 @@ def render_chaos_summary(outcome) -> str:
         ]
     if getattr(outcome, "dht", None):
         lines += _dht_overlay_lines(outcome.dht)
+    if getattr(outcome, "domains", None):
+        lines += _failure_domain_lines(outcome.domains)
     lines += [
         "",
         "## Exercised under faults",
@@ -503,24 +563,7 @@ def render_endurance_summary(outcome) -> str:
         "## Protocol recovery",
         "",
     ]
-    kinds = sorted(
-        set(outcome.retries) | set(outcome.timeouts) | set(outcome.degraded)
-    )
-    lines.append(
-        _md_table(
-            ["message kind", "retries", "timeouts", "degraded"],
-            [
-                (
-                    kind,
-                    outcome.retries.get(kind, 0),
-                    outcome.timeouts.get(kind, 0),
-                    outcome.degraded.get(kind, 0),
-                )
-                for kind in kinds
-            ]
-            or [("(none)", 0, 0, 0)],
-        )
-    )
+    lines.append(_protocol_recovery_table(outcome))
     if outcome.latency_percentiles:
         lines += [
             "",
@@ -634,6 +677,8 @@ def render_endurance_summary(outcome) -> str:
         ]
     if getattr(outcome, "dht", None):
         lines += _dht_overlay_lines(outcome.dht)
+    if getattr(outcome, "domains", None):
+        lines += _failure_domain_lines(outcome.domains)
     lines += [
         "",
         "## Exercised after heal",

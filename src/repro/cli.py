@@ -65,6 +65,11 @@ _EXPERIMENTS = [
         "DHT lookup vs broadcast",
         "bench_e20_dht_lookup.py",
     ),
+    (
+        "E21",
+        "zone outage vs placement spread",
+        "bench_e21_domain_outage.py",
+    ),
 ]
 
 
@@ -239,6 +244,19 @@ def build_parser() -> argparse.ArgumentParser:
         "and a per-block lookup batch, and the exit code gates on it)",
     )
     chaos.add_argument(
+        "--domains",
+        action="store_true",
+        help="enable failure-domain awareness (placement spreads "
+        "replicas across zones; the outage becomes a full zone crash, "
+        "and the exit code gates on the post-heal zone-diversity audit)",
+    )
+    chaos.add_argument(
+        "--zones",
+        type=int,
+        default=4,
+        help="failure domains in the map (with --domains; default 4)",
+    )
+    chaos.add_argument(
         "--report",
         metavar="FILE",
         help="write the markdown summary to FILE as well as stdout",
@@ -353,6 +371,19 @@ def build_parser() -> argparse.ArgumentParser:
         "queries resolve holders via FIND_VALUE, repair digests route "
         "to XOR-nearest peers; the audit adds a routing-table census "
         "and a per-block lookup batch, and the exit code gates on it)",
+    )
+    endurance.add_argument(
+        "--domains",
+        action="store_true",
+        help="enable failure-domain awareness (spread placement, a "
+        "full zone outage a third of the way in, diversity-restoring "
+        "sweeps, and a post-heal zone-diversity exit gate)",
+    )
+    endurance.add_argument(
+        "--zones",
+        type=int,
+        default=3,
+        help="failure domains in the map (with --domains; default 3)",
     )
     endurance.add_argument(
         "--report",
@@ -740,6 +771,8 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         stall_count=args.stall_count,
         partition=args.partition,
         dht=args.dht,
+        domains=args.domains,
+        zones=args.zones,
         backend=args.backend,
         workers=args.workers,
     )
@@ -747,6 +780,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     summary = render_chaos_summary(outcome)
     print(summary, end="")
     if args.report:
+        Path(args.report).parent.mkdir(parents=True, exist_ok=True)
         with open(args.report, "w", encoding="utf-8") as handle:
             handle.write(summary)
         print(f"\nreport written to {args.report}", file=sys.stderr)
@@ -767,6 +801,11 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         ok = ok and outcome.dht.get("audit_lookups_ok") == outcome.dht.get(
             "audit_lookups"
         )
+    if args.domains:
+        # Domain runs additionally gate on the post-heal diversity
+        # audit: every block's live copies must span distinct zones
+        # again (up to the live-zone count).
+        ok = ok and bool(outcome.domains.get("diversity_met"))
     return 0 if ok else 1
 
 
@@ -796,6 +835,8 @@ def cmd_endurance(args: argparse.Namespace) -> int:
         reads_per_block=args.reads,
         zipf_exponent=args.zipf,
         dht=args.dht,
+        domains=args.domains,
+        zones=args.zones,
         backend=args.backend,
         workers=args.workers,
     )
@@ -803,6 +844,7 @@ def cmd_endurance(args: argparse.Namespace) -> int:
     summary = render_endurance_summary(outcome)
     print(summary, end="")
     if args.report:
+        Path(args.report).parent.mkdir(parents=True, exist_ok=True)
         with open(args.report, "w", encoding="utf-8") as handle:
             handle.write(summary)
         print(f"\nreport written to {args.report}", file=sys.stderr)
@@ -828,6 +870,10 @@ def cmd_endurance(args: argparse.Namespace) -> int:
         ok = ok and outcome.dht.get("audit_lookups_ok") == outcome.dht.get(
             "audit_lookups"
         )
+    if args.domains:
+        # Domain runs gate on the post-heal zone-diversity audit, same
+        # as chaos --domains.
+        ok = ok and bool(outcome.domains.get("diversity_met"))
     return 0 if ok else 1
 
 

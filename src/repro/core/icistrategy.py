@@ -101,6 +101,11 @@ class ICIDeployment(StorageDeployment):
         self.config.validate_for(n_nodes)
         self.coordinates = coordinates
         self.placement = _make_placement(self.config)
+        # Failure-domain awareness (opt-in; see repro.net.domains).  None
+        # keeps the configured placement policy and every domain-oblivious
+        # code path byte-identical.  Set before install_topology(): the
+        # topology hook is also the domain map's churn-sync point.
+        self.domains = None
 
         if genesis is None:
             from repro.crypto.keys import KeyPair
@@ -179,6 +184,12 @@ class ICIDeployment(StorageDeployment):
     # ------------------------------------------------------------ plumbing
     def install_topology(self) -> None:
         """(Re)build the clustered overlay after any membership change."""
+        if self.domains is not None:
+            # Every membership change funnels through here (joins,
+            # leaves, crash cleanup, re-clustering), so syncing the
+            # domain map at this choke point keeps labels current
+            # through churn without per-call bookkeeping.
+            self.domains.sync(self.nodes.keys())
         members_by_cluster = [
             list(view.members) for view in self.clusters.views()
         ]
@@ -227,6 +238,35 @@ class ICIDeployment(StorageDeployment):
         if self.repair._tracer is not None:
             planner.attach_tracer(self.repair._tracer)
         return planner
+
+    def enable_domain_awareness(self, zones: int = 2, racks_per_zone: int = 1):
+        """Install the failure-domain map + spread placement (idempotent).
+
+        Hangs a :class:`~repro.net.domains.FailureDomainMap` off the
+        deployment and swaps the placement policy for
+        :class:`~repro.storage.placement.DomainSpreadPlacement`, so the
+        ``r`` replicas — and, through the archival tier's use of
+        ``deployment.placement``, the ``k+m`` coded chunks — land on
+        distinct failure domains whenever the cluster spans enough of
+        them.  The repair engine picks the map up through
+        ``deployment.domains`` and re-replicates/sheds toward domain
+        diversity, not just copy count.  Returns the map.
+
+        Opt-in like every other subsystem: never calling this keeps the
+        configured placement policy and byte-identical behaviour.
+        """
+        if self.domains is not None:
+            return self.domains
+        from repro.net.domains import FailureDomainMap
+        from repro.storage.placement import DomainSpreadPlacement
+
+        domains = FailureDomainMap(
+            zones=zones, racks_per_zone=racks_per_zone
+        )
+        domains.sync(self.nodes.keys())
+        self.domains = domains
+        self.placement = DomainSpreadPlacement(domains)
+        return domains
 
     def enable_dht(self, dht_config=None):
         """Activate the Kademlia-style DHT overlay (idempotent).

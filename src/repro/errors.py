@@ -17,6 +17,10 @@ class ConfigurationError(ReproError):
     """A scenario, strategy, or component was configured inconsistently."""
 
 
+class FaultConfigError(ConfigurationError):
+    """A fault schedule was inconsistent (overlapping or orphan outages)."""
+
+
 class CryptoError(ReproError):
     """Base class for failures in the crypto substrate."""
 

@@ -189,6 +189,12 @@ class AntiEntropyEngine(ProtocolEngine):
         # request id -> (cluster, block hash, target node).
         self._repair_requests: dict[int, tuple[int, Hash32, int]] = {}
         self._inflight: set[tuple[Hash32, int]] = set()
+        # Diversity repairs: blocks at their replica floor whose copies
+        # nonetheless shared a zone, fixed by an extra spread-restoring
+        # copy.  A plain attribute (NOT a RepairStats field): the stats
+        # dict feeds endurance signatures, and domain-oblivious runs
+        # must stay byte-identical.
+        self.diversity_repairs = 0
         # (cluster, block hash) -> virtual time the deficit was first seen
         # (cleared when a later sweep finds the floor restored).
         self._first_detected: dict[tuple[int, Hash32], float] = {}
@@ -261,6 +267,11 @@ class AntiEntropyEngine(ProtocolEngine):
     def archival(self):
         """The deployment's coded archival tier (``None`` = replicas only)."""
         return getattr(self.deployment, "archival", None)
+
+    @property
+    def domains(self):
+        """The deployment's failure-domain map (``None`` = oblivious)."""
+        return getattr(self.deployment, "domains", None)
 
     @property
     def idle(self) -> bool:
@@ -509,6 +520,17 @@ class AntiEntropyEngine(ProtocolEngine):
                     self._shed(
                         planner, session, header, members, holders, target
                     )
+                elif self.domains is not None:
+                    # Floor met but blast radius not restored: the copy
+                    # count can be right while every copy shares a zone
+                    # (re-replication landed wherever it could during an
+                    # outage).  Shedding sweeps skip this — their keep
+                    # set is already domain-aware, and this coverage map
+                    # is stale once they drop copies.
+                    self._restore_diversity(
+                        session, header, members, live, holders, floor,
+                        target,
+                    )
                 continue
             self._detect(cluster_id, block_hash, missing)
             targets = self._pick_targets(
@@ -550,6 +572,54 @@ class AntiEntropyEngine(ProtocolEngine):
             },
         )
 
+    def _restore_diversity(
+        self,
+        session: _DigestSession,
+        header: BlockHeader,
+        members: tuple[int, ...],
+        live: list[int],
+        holders: set[int],
+        floor: int,
+        target: int,
+    ) -> None:
+        """Re-spread one floor-met block whose copies share a zone.
+
+        Diversity demands ``min(floor, live-zone count)`` distinct
+        zones among the live holders; when the spread falls short, an
+        extra copy is pulled onto a member in an uncovered zone (the
+        domain-aware :meth:`_pick_targets` order).  The surplus copy is
+        harmless on fixed-r deployments and is shed by the next
+        adaptive sweep — whose keep set prefers the diverse holders, so
+        the two passes converge instead of oscillating.
+        """
+        domains = self.domains
+        if domains is None or header.is_genesis or not holders:
+            return
+        block_hash = header.block_hash
+        if any(key[0] == block_hash for key in self._inflight):
+            return  # a repair is still converging this block; next sweep
+        need = min(floor, len(domains.zones_of(live)))
+        spread = len(domains.zones_of(holders))
+        if spread >= need:
+            return
+        targets = self._pick_targets(
+            header, members, live, holders, need - spread, target
+        )
+        plan = sorted(holders)
+        for repair_target in targets:
+            self.diversity_repairs += 1
+            self._trace(
+                "diversity_repair",
+                {
+                    "cluster": session.cluster_id,
+                    "block": block_hash.hex()[:12],
+                    "target": repair_target,
+                },
+            )
+            self._schedule_repair(
+                session.cluster_id, block_hash, repair_target, plan
+            )
+
     def _pick_targets(
         self,
         header: BlockHeader,
@@ -559,7 +629,15 @@ class AntiEntropyEngine(ProtocolEngine):
         missing: int,
         replication: int | None = None,
     ) -> list[int]:
-        """Live members owed a copy: placement-assigned first, then fill."""
+        """Live members owed a copy: placement-assigned first, then fill.
+
+        With a failure-domain map on the deployment the fill order is
+        re-ranked for **domain diversity**: each pick prefers the first
+        candidate whose zone no current holder (or earlier pick) already
+        covers, so re-replication restores blast-radius spread, not just
+        copy count.  Domain-oblivious deployments keep the original
+        order exactly.
+        """
         if replication is None:
             replication = self.deployment.config.replication
         assigned = [
@@ -574,7 +652,22 @@ class AntiEntropyEngine(ProtocolEngine):
             for member in live
             if member not in holders and member not in assigned
         ]
-        return (assigned + extras)[:missing]
+        ordered = assigned + extras
+        domains = self.domains
+        if domains is None:
+            return ordered[:missing]
+        covered = {domains.zone_of(holder) for holder in holders}
+        picked: list[int] = []
+        pool = list(ordered)
+        while pool and len(picked) < missing:
+            choice = next(
+                (m for m in pool if domains.zone_of(m) not in covered),
+                pool[0],
+            )
+            pool.remove(choice)
+            picked.append(choice)
+            covered.add(domains.zone_of(choice))
+        return picked
 
     def _external_sources(
         self, block_hash: Hash32, cluster_members: set[int]
@@ -627,6 +720,20 @@ class AntiEntropyEngine(ProtocolEngine):
             )
             if member in holders
         ]
+        domains = self.domains
+        if domains is not None:
+            # Domain-aware fill: surviving copies should span zones, so
+            # the fill pass prefers holders in zones the keep set does
+            # not already cover (still sorted-deterministic within each
+            # preference tier).
+            kept_zones = {domains.zone_of(member) for member in keep}
+            for member in sorted(holders):
+                if len(keep) >= keep_quota:
+                    break
+                zone = domains.zone_of(member)
+                if member not in keep and zone not in kept_zones:
+                    keep.append(member)
+                    kept_zones.add(zone)
         for member in sorted(holders):
             if len(keep) >= keep_quota:
                 break

@@ -67,6 +67,16 @@ class ChaosConfig:
     #: full lookup batch.  Off by default: non-DHT signatures must
     #: stay byte-identical (golden pins).
     dht: bool = False
+    #: Failure-domain awareness (:mod:`repro.net.domains`): placement
+    #: spreads replicas across zones, phase 2 replaces the sampled
+    #: victims with a full **zone outage** (every live member of one
+    #: deterministically-drawn zone crashes at once), and the audit
+    #: adds a post-heal domain-diversity check.  Off by default:
+    #: domain-oblivious signatures must stay byte-identical (golden
+    #: pins).
+    domains: bool = False
+    #: Zones in the failure-domain map (domain runs only).
+    zones: int = 4
     #: Simulation backend (``"serial"`` or ``"parallel"``).  Fault
     #: injection couples a sharded clock into the serial-exact schedule,
     #: so signatures are backend-independent by construction; the knob
@@ -79,6 +89,8 @@ class ChaosConfig:
             raise ConfigurationError("chaos runs need at least 2 blocks")
         if self.crash_count < 0 or self.stall_count < 0 or self.queries < 0:
             raise ConfigurationError("counts must be >= 0")
+        if self.domains and self.zones < 2:
+            raise ConfigurationError("domain runs need at least 2 zones")
 
 
 @dataclass
@@ -107,8 +119,18 @@ class ChaosOutcome:
     #: runs, and only a non-empty dict joins :meth:`signature` — the
     #: same opt-in discipline as the endurance outcome's ``adaptive``.
     dht: dict[str, int] = field(default_factory=dict)
+    #: Failure-domain census + audit (zone killed, victim count,
+    #: placement spread deficit, diversity repairs, post-heal diversity
+    #: flag); empty on domain-oblivious runs, and only a non-empty dict
+    #: joins :meth:`signature` — the same opt-in discipline as ``dht``.
+    domains: dict[str, int] = field(default_factory=dict)
     virtual_seconds: float = 0.0
     events_processed: int = 0
+    #: Per-kind tracked-send counts (``RouterStats.sends``); the
+    #: denominator for the report renderers' degraded-percentage
+    #: column.  Not part of :meth:`signature` — the per-kind retry/
+    #: timeout/degraded counters above already pin the same stream.
+    sends: dict[str, int] = field(default_factory=dict)
     #: Per-kind delivery-latency percentiles (virtual time) from the
     #: run's trace; quantifies degradation beyond the counters.  Not
     #: part of :meth:`signature` — latency values are floats derived
@@ -149,6 +171,8 @@ class ChaosOutcome:
         }
         if self.dht:
             signature["dht"] = dict(self.dht)
+        if self.domains:
+            signature["domains"] = dict(self.domains)
         return signature
 
 
@@ -198,6 +222,15 @@ def run_chaos(
         # organically as blocks finalize (the enable-time backfill only
         # covers genesis here).
         deployment.enable_dht()
+    if config.domains:
+        # Enabled before production so every non-genesis placement is
+        # computed by the spread-aware policy.
+        deployment.enable_domain_awareness(zones=config.zones)
+        injector.bind_domains(
+            lambda zone: deployment.domains.members_of_zone(
+                zone, deployment.nodes.keys()
+            )
+        )
     if tracer is None:
         tracer = Tracer()
     install_tracing(deployment, tracer)
@@ -215,17 +248,28 @@ def run_chaos(
     # spare a member (mirrors the churn driver's minimum), and leave the
     # proposer rotation while down — a dead proposer's block would exist
     # only in the oracle ledger, unrecoverable by any replica.
-    victims = _pick_victims(
-        deployment, rng, config.crash_count + config.stall_count
-    )
-    outcome.crashed = victims[: config.crash_count]
-    outcome.stalled = victims[config.crash_count :]
-    for victim in outcome.crashed:
-        injector.crash(victim)
-        runner.schedule.remove(victim)
-    for victim in outcome.stalled:
-        injector.stall(victim)
-        runner.schedule.remove(victim)
+    zone_killed = -1
+    if config.domains:
+        # Correlated outage: one whole zone goes down at once instead
+        # of independently-sampled victims — the blast radius the
+        # spread-aware placement exists to survive.
+        zone_killed = rng.randrange(config.zones)
+        victims = list(injector.crash_domain(zone_killed))
+        outcome.crashed = victims
+        for victim in victims:
+            runner.schedule.remove(victim)
+    else:
+        victims = _pick_victims(
+            deployment, rng, config.crash_count + config.stall_count
+        )
+        outcome.crashed = victims[: config.crash_count]
+        outcome.stalled = victims[config.crash_count :]
+        for victim in outcome.crashed:
+            injector.crash(victim)
+            runner.schedule.remove(victim)
+        for victim in outcome.stalled:
+            injector.stall(victim)
+            runner.schedule.remove(victim)
     if config.partition:
         outcome.partitioned = _cut_minority(deployment, injector, victims)
         for victim in outcome.partitioned:
@@ -293,8 +337,11 @@ def run_chaos(
     outcome.retries = dict(stats.retries)
     outcome.timeouts = dict(stats.timeouts)
     outcome.degraded = dict(stats.degraded)
+    outcome.sends = dict(stats.sends)
     if config.dht:
         _audit_dht(deployment, outcome, rng, block_hashes)
+    if config.domains:
+        _audit_domains(deployment, outcome, zone_killed, victims)
     outcome.virtual_seconds = deployment.network.now
     outcome.events_processed = deployment.network.clock.processed
     outcome.latency_percentiles = summarize(tracer).latency_percentiles()
@@ -332,6 +379,97 @@ def _audit_dht(
         "audit_lookups": len(block_hashes),
         "audit_lookups_ok": lookups_ok,
     }
+
+
+def _audit_domains(
+    deployment: ICIDeployment,
+    outcome,
+    zone_killed: int,
+    victims: list[int],
+) -> None:
+    """Failure-domain audit: zone census plus the post-heal diversity
+    check (see :func:`domain_diversity_met`).
+
+    Lands on ``outcome.domains`` (signature opt-in, integer-valued so
+    the fingerprint stays json-stable).  ``spread_deficit`` counts the
+    placements that could not reach full zone spread — the audited
+    fallback, surfaced here so a correlated blast radius is visible
+    instead of silent.
+    """
+    from repro.sim.faults import live_members
+
+    domains = deployment.domains
+    live = live_members(deployment.network, sorted(deployment.nodes))
+    outcome.domains = {
+        "zones": domains.zones,
+        "zone_killed": zone_killed,
+        "outage_victims": len(victims),
+        "live_zones": len(domains.zones_of(live)),
+        "spread_deficit": getattr(
+            deployment.placement, "domain_spread_deficit", 0
+        ),
+        "diversity_repairs": deployment.repair.diversity_repairs,
+        "diversity_met": int(domain_diversity_met(deployment)),
+    }
+
+
+def domain_diversity_met(deployment: ICIDeployment) -> bool:
+    """Does every cluster spread every block across its live zones?
+
+    The failure-domain counterpart of :func:`replica_floor_met`: per
+    cluster, every non-genesis active block's live holders must span
+    ``min(floor, live-zone count)`` distinct zones, where ``floor`` is
+    the block's replica floor (planner-aware on adaptive runs).
+    Archived blocks check their live **chunk** holders against
+    ``min(k, live-zone count)`` instead — chunk placement rides the
+    same spread-aware policy.  Genesis is exempt: it is a hardcoded
+    constant every node regenerates locally, so zone spread buys it
+    nothing.  Domain-oblivious deployments trivially pass.
+    """
+    from repro.sim.faults import live_members
+
+    domains = getattr(deployment, "domains", None)
+    if domains is None:
+        return True
+    planner = getattr(deployment, "replication_planner", None)
+    tier = getattr(deployment, "archival", None)
+    base = deployment.config.replication
+    headers = list(deployment.ledger.store.iter_active_headers())
+    for view in deployment.clusters.views():
+        live = live_members(deployment.network, sorted(view.members))
+        if not live:
+            continue
+        live_zone_count = len(domains.zones_of(live))
+        for header in headers:
+            if header.is_genesis:
+                continue
+            block_hash = header.block_hash
+            if tier is not None and tier.is_archived(
+                view.cluster_id, block_hash
+            ):
+                chunk_holders = tier.live_chunk_holders(
+                    view.cluster_id, block_hash
+                )
+                need = min(tier.config.data_chunks, live_zone_count)
+                if len(domains.zones_of(chunk_holders)) < need:
+                    return False
+                continue
+            target = (
+                base
+                if planner is None
+                else planner.target_for(block_hash)
+            )
+            floor = min(max(target, 1), len(live))
+            holders = [
+                member
+                for member in live
+                if deployment.nodes[member].store.has_body(block_hash)
+            ]
+            if len(domains.zones_of(holders)) < min(
+                floor, live_zone_count
+            ):
+                return False
+    return True
 
 
 def reconcile(
@@ -446,6 +584,15 @@ class EnduranceConfig:
     #: table-liveness census plus a full lookup batch.  Off by default:
     #: non-DHT runs must stay byte-identical (golden pins).
     dht: bool = False
+    #: Failure-domain awareness (see :class:`ChaosConfig.domains`): the
+    #: outage a third of the way in becomes a full **zone outage**
+    #: (replacing the independently-sampled victims), placement spreads
+    #: replicas across zones, the anti-entropy sweep restores zone
+    #: diversity as well as copy count, and the audit adds the
+    #: post-heal domain-diversity check.  Off by default (golden pins).
+    domains: bool = False
+    #: Zones in the failure-domain map (domain runs only).
+    zones: int = 3
     #: Simulation backend (see :class:`ChaosConfig.backend`).
     backend: str = "serial"
     workers: int = 2
@@ -453,6 +600,8 @@ class EnduranceConfig:
     def __post_init__(self) -> None:
         if self.n_blocks < 2:
             raise ConfigurationError("endurance runs need at least 2 blocks")
+        if self.domains and self.zones < 2:
+            raise ConfigurationError("domain runs need at least 2 zones")
         if self.repair_cadence <= 0 or self.settle_seconds <= 0:
             raise ConfigurationError("cadence/settle must be > 0")
         if self.crash_count < 0 or self.queries < 0:
@@ -505,8 +654,14 @@ class EnduranceOutcome:
     #: DHT overlay counters + audit (see :class:`ChaosOutcome.dht`);
     #: empty unless the overlay ran, same opt-in discipline.
     dht: dict[str, int] = field(default_factory=dict)
+    #: Failure-domain census + audit (see :class:`ChaosOutcome.
+    #: domains`); empty on oblivious runs, same opt-in discipline.
+    domains: dict[str, int] = field(default_factory=dict)
     #: Network-wide ledger bytes at audit time (reports; not signed).
     storage_total_bytes: int = 0
+    #: Per-kind tracked-send counts (see :class:`ChaosOutcome.sends`);
+    #: reports only, not signed.
+    sends: dict[str, int] = field(default_factory=dict)
     virtual_seconds: float = 0.0
     events_processed: int = 0
     #: Not part of :meth:`signature` (floats derived from the same
@@ -560,6 +715,8 @@ class EnduranceOutcome:
             signature["archival"] = dict(self.archival)
         if self.dht:
             signature["dht"] = dict(self.dht)
+        if self.domains:
+            signature["domains"] = dict(self.domains)
         return signature
 
 
@@ -623,6 +780,8 @@ def run_endurance(
         tier = deployment.enable_archival_tier(config.archival_code)
     if config.dht:
         deployment.enable_dht()
+    if config.domains:
+        deployment.enable_domain_awareness(zones=config.zones)
     runner = ScenarioRunner(deployment, limits=limits, seed=config.seed)
     plan = FaultPlan(
         config=FaultConfig(
@@ -635,6 +794,12 @@ def run_endurance(
     )
     injector = plan.install(deployment.network)
     deployment.query.set_retry_policy(CHAOS_QUERY_POLICY)
+    if config.domains:
+        injector.bind_domains(
+            lambda zone: deployment.domains.members_of_zone(
+                zone, deployment.nodes.keys()
+            )
+        )
     if tracer is None:
         tracer = Tracer()
     install_tracing(deployment, tracer)
@@ -663,6 +828,7 @@ def run_endurance(
     outage_block = max(1, config.n_blocks // 3)
     partition_block = max(2, config.n_blocks // 2)
     block_hashes: list = []
+    zone_killed = -1
 
     # Phase 1: the storm.
     with tracer.span("endurance:storm"):
@@ -676,10 +842,20 @@ def run_endurance(
             block_hashes.extend(report.block_hashes)
             churn.blocks_produced += 1
             if block_index == outage_block and config.crash_count:
-                victims = _pick_victims(deployment, rng, config.crash_count)
-                outcome.outage_crashed = victims
-                for victim in victims:
-                    injector.crash(victim)
+                if config.domains:
+                    # Correlated outage: a full zone instead of the
+                    # independently-sampled victims.
+                    zone_killed = rng.randrange(config.zones)
+                    outcome.outage_crashed = list(
+                        injector.crash_domain(zone_killed)
+                    )
+                else:
+                    outcome.outage_crashed = _pick_victims(
+                        deployment, rng, config.crash_count
+                    )
+                    for victim in outcome.outage_crashed:
+                        injector.crash(victim)
+                for victim in outcome.outage_crashed:
                     runner.schedule.remove(victim)
             if block_index == partition_block and config.partition:
                 outcome.partitioned = _cut_minority(
@@ -822,6 +998,7 @@ def run_endurance(
     outcome.retries = dict(stats.retries)
     outcome.timeouts = dict(stats.timeouts)
     outcome.degraded = dict(stats.degraded)
+    outcome.sends = dict(stats.sends)
     outcome.repair = repair.stats.as_dict()
     outcome.deferred_blocks = sum(
         len(report.deferred_blocks)
@@ -835,6 +1012,10 @@ def run_endurance(
         }
     if config.dht:
         _audit_dht(deployment, outcome, rng, block_hashes)
+    if config.domains:
+        _audit_domains(
+            deployment, outcome, zone_killed, outcome.outage_crashed
+        )
     outcome.virtual_seconds = deployment.network.now
     outcome.events_processed = deployment.network.clock.processed
     outcome.latency_percentiles = summarize(tracer).latency_percentiles()

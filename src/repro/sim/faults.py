@@ -11,7 +11,15 @@ module provides that adversary as a **seeded, reproducible plan**:
   cut during ``[start, end)`` virtual seconds are severed.
 * :class:`OutageEvent` — a node crash / stall / recovery at a virtual
   time, scheduled on the :class:`~repro.net.simclock.SimClock` when the
-  plan is installed.
+  plan is installed.  Schedules are validated: orphan recoveries and
+  overlapping outages for one node raise
+  :class:`~repro.errors.FaultConfigError` instead of producing silent
+  nonsense weather.
+* :class:`DomainOutageEvent` — a **correlated** outage: every member of
+  one failure domain (:mod:`repro.net.domains`) crashes or stalls at
+  once, recovering together ``duration`` later.
+  :func:`domain_partition` builds the network-cut analogue (the zone
+  stays up but its uplink is severed).
 * :class:`FaultPlan` — the full schedule; :meth:`FaultPlan.generate`
   derives one deterministically from a seed (the golden-pin target).
 * :class:`FaultInjector` — the runtime attached to one
@@ -30,9 +38,9 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, fields
-from typing import TYPE_CHECKING, Iterable, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, FaultConfigError
 from repro.obs.tracer import FAULTS_TRACK, active_tracer
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -120,6 +128,44 @@ class OutageEvent:
             raise ConfigurationError("outage time must be >= 0")
 
 
+@dataclass(frozen=True)
+class DomainOutageEvent:
+    """One scheduled **correlated** outage: a whole zone fails at once.
+
+    At ``at`` virtual seconds every current member of ``zone`` is
+    crashed (or stalled); ``duration`` later the same members recover.
+    Resolution from zone to member ids happens **at fire time** through
+    the resolver bound with :meth:`FaultInjector.bind_domains`, so churn
+    between scheduling and firing is honoured — the blast radius is
+    whatever the zone contains when the failure happens, exactly like a
+    real rack losing power.
+
+    Per-node effects land on the ordinary crash/stall/recover counters
+    (a domain outage *is* N node outages, correlated); the injector
+    additionally records each firing on
+    :attr:`FaultInjector.domain_outages` for the opt-in chaos/endurance
+    ``domains`` audit, keeping :class:`FaultStats` — and every
+    golden-pinned signature built from it — exactly as before.
+    """
+
+    at: float
+    zone: int
+    kind: str = CRASH
+    duration: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in (CRASH, STALL):
+            raise FaultConfigError(
+                f"domain outages crash or stall, not {self.kind!r}"
+            )
+        if self.at < 0:
+            raise FaultConfigError("domain outage time must be >= 0")
+        if self.duration < 0:
+            raise FaultConfigError("domain outage duration must be >= 0")
+        if self.zone < 0:
+            raise FaultConfigError("zone must be >= 0")
+
+
 @dataclass
 class FaultStats:
     """What the injector actually did to one run (deterministic per seed)."""
@@ -152,10 +198,15 @@ class FaultPlan:
         config: FaultConfig | None = None,
         partitions: Sequence[PartitionWindow] = (),
         outages: Sequence[OutageEvent] = (),
+        domain_outages: Sequence[DomainOutageEvent] = (),
     ) -> None:
         self.config = config or FaultConfig()
         self.partitions = tuple(partitions)
         self.outages = tuple(sorted(outages, key=lambda e: (e.at, e.node_id)))
+        self.domain_outages = tuple(
+            sorted(domain_outages, key=lambda e: (e.at, e.zone))
+        )
+        _validate_outages(self.outages)
 
     @classmethod
     def generate(
@@ -171,6 +222,9 @@ class FaultPlan:
         stall_count: int = 0,
         outage_window: tuple[float, float] = (0.0, 60.0),
         outage_duration: float = 10.0,
+        domain_outage_count: int = 0,
+        zone_count: int = 0,
+        domain_outage_kind: str = CRASH,
     ) -> "FaultPlan":
         """Derive a full plan deterministically from ``seed``.
 
@@ -179,6 +233,14 @@ class FaultPlan:
         ``outage_window`` and recovers ``outage_duration`` later.  Equal
         inputs yield an identical schedule on every machine — the
         fixed-seed golden pins in ``tests/test_faults.py`` rely on it.
+
+        With ``domain_outage_count > 0`` (requires ``zone_count``),
+        that many **whole zones** are additionally sampled without
+        replacement and scheduled as :class:`DomainOutageEvent`\\ s over
+        the same window.  The domain draws happen strictly *after* the
+        per-node draws, so every pre-existing ``(seed, kwargs)``
+        schedule — including the pinned golden one — is unchanged when
+        the count is zero.
         """
         ids = sorted(node_ids)
         total = crash_count + stall_count
@@ -204,6 +266,24 @@ class FaultPlan:
                     at=at + outage_duration, node_id=victim, kind=RECOVER
                 )
             )
+        domain_outages: list[DomainOutageEvent] = []
+        if domain_outage_count:
+            if zone_count < domain_outage_count:
+                raise FaultConfigError(
+                    f"{domain_outage_count} domain outages need at least "
+                    f"that many zones (got {zone_count})"
+                )
+            zones = rng.sample(range(zone_count), domain_outage_count)
+            for zone in zones:
+                at = start + rng.random() * (end - start)
+                domain_outages.append(
+                    DomainOutageEvent(
+                        at=at,
+                        zone=zone,
+                        kind=domain_outage_kind,
+                        duration=outage_duration,
+                    )
+                )
         config = FaultConfig(
             seed=seed,
             drop_rate=drop_rate,
@@ -211,7 +291,14 @@ class FaultPlan:
             delay_rate=delay_rate,
             delay_seconds=delay_seconds,
         )
-        return cls(config=config, outages=outages)
+        return cls(
+            config=config, outages=outages, domain_outages=domain_outages
+        )
+
+    @property
+    def has_domain_outages(self) -> bool:
+        """Does this plan schedule any whole-zone failures?"""
+        return bool(self.domain_outages)
 
     def install(self, network: "Network") -> "FaultInjector":
         """Attach an injector for this plan to ``network``.
@@ -222,6 +309,34 @@ class FaultPlan:
         injector = FaultInjector(self, network)
         network.attach_faults(injector)
         return injector
+
+
+def _validate_outages(outages: Sequence[OutageEvent]) -> None:
+    """Reject schedules that cannot describe real weather.
+
+    Scanning the (already time-sorted) schedule per node: a ``RECOVER``
+    with no preceding crash/stall is an orphan, and a second crash/stall
+    before the prior recovery is an overlap — both previously produced
+    silent nonsense (double-counted crashes, recoveries that revived
+    nothing) instead of an error.
+    """
+    down: dict[int, OutageEvent] = {}
+    for event in outages:
+        if event.kind == RECOVER:
+            if down.pop(event.node_id, None) is None:
+                raise FaultConfigError(
+                    f"node {event.node_id} recovers at t={event.at:g} "
+                    "without a preceding crash or stall"
+                )
+            continue
+        prior = down.get(event.node_id)
+        if prior is not None:
+            raise FaultConfigError(
+                f"node {event.node_id} {event.kind}s at t={event.at:g} "
+                f"while already down ({prior.kind} at t={prior.at:g} "
+                "not yet recovered)"
+            )
+        down[event.node_id] = event
 
 
 class FaultInjector:
@@ -240,12 +355,26 @@ class FaultInjector:
         self._stalled: set[int] = set()
         self._partitions: list[PartitionWindow] = list(plan.partitions)
         self._crashed: set[int] = set()
+        # zone -> current member ids; bound by the chaos/endurance driver
+        # (the network itself knows nothing about failure domains).
+        self._domain_resolver: Callable[[int], Sequence[int]] | None = None
+        #: Every domain outage that fired: ``(at, zone, kind, victims)``.
+        #: Deliberately *not* part of :class:`FaultStats` — the per-node
+        #: crash/stall/recover counters absorb the member-level effects,
+        #: so golden-pinned signatures are unchanged; this record feeds
+        #: the opt-in ``domains`` audit only.
+        self.domain_outages: list[tuple[float, int, str, tuple[int, ...]]] = []
         # Injectors built inside an active tracing scope self-attach;
         # install_tracing() also attaches to pre-existing injectors.
         self._tracer: "Tracer | None" = active_tracer()
         for event in plan.outages:
             at = max(event.at, network.clock.now)
             network.clock.schedule_at(at, self._apply_outage, event)
+        for domain_event in plan.domain_outages:
+            at = max(domain_event.at, network.clock.now)
+            network.clock.schedule_at(
+                at, self._apply_domain_outage, domain_event
+            )
 
     # ------------------------------------------------------- instrumentation
     def attach_tracer(self, tracer: "Tracer | None") -> None:
@@ -331,6 +460,67 @@ class FaultInjector:
         else:
             self.recover(event.node_id)
 
+    # ------------------------------------------------------ failure domains
+    def bind_domains(
+        self, resolver: Callable[[int], Sequence[int]]
+    ) -> None:
+        """Supply the zone → current-members resolver domain outages need.
+
+        Typically ``deployment.domains.members_of_zone`` (or a closure
+        over it); called once by the chaos/endurance driver after the
+        plan installs.
+        """
+        self._domain_resolver = resolver
+
+    def crash_domain(self, zone: int, kind: str = CRASH) -> tuple[int, ...]:
+        """Fail every live member of one zone at once; returns the victims.
+
+        ``kind`` selects crash vs stall.  Victims are resolved *now*
+        (post-churn membership), filtered to currently-live nodes so a
+        node already down is never double-counted, and recorded on
+        :attr:`domain_outages`.  Recovery is the caller's (or the
+        scheduled event's) responsibility via :meth:`recover_domain`.
+        """
+        if self._domain_resolver is None:
+            raise FaultConfigError(
+                "domain outage fired with no domain resolver bound "
+                "(call FaultInjector.bind_domains first)"
+            )
+        victims = tuple(
+            node_id
+            for node_id in sorted(self._domain_resolver(zone))
+            if node_id in self.network.node_ids and self.is_live(node_id)
+        )
+        for node_id in victims:
+            if kind == CRASH:
+                self.crash(node_id)
+            else:
+                self.stall(node_id)
+        self.domain_outages.append(
+            (self.network.clock.now, zone, kind, victims)
+        )
+        if self._tracer is not None:
+            self._trace(
+                "domain_outage",
+                {"zone": zone, "kind": kind, "victims": list(victims)},
+            )
+        return victims
+
+    def recover_domain(self, victims: Sequence[int]) -> None:
+        """Bring one domain outage's victims back (departed ones skipped)."""
+        for node_id in sorted(victims):
+            if node_id in self.network.node_ids and (
+                node_id in self._crashed or node_id in self._stalled
+            ):
+                self.recover(node_id)
+
+    def _apply_domain_outage(self, event: DomainOutageEvent) -> None:
+        victims = self.crash_domain(event.zone, kind=event.kind)
+        if event.duration != float("inf"):
+            self.network.clock.schedule(
+                event.duration, self.recover_domain, victims
+            )
+
     # ------------------------------------------------------------ messages
     def intercept(self, message: "Message", now: float) -> tuple[int, float]:
         """Decide one message's fate: ``(copies, extra_delay)``.
@@ -385,6 +575,35 @@ class FaultInjector:
                 "to": message.recipient,
             },
         )
+
+
+def domain_partition(
+    node_ids: Iterable[int],
+    zone_of: Callable[[int], int],
+    zone: int,
+    start: float = 0.0,
+    end: float = float("inf"),
+) -> PartitionWindow:
+    """A domain-cut partition: one zone severed from everything else.
+
+    Models a top-of-rack or zone-uplink failure where the domain's
+    members stay *up* (intra-zone traffic flows) but every link crossing
+    the domain boundary is cut for ``[start, end)``.  Raises
+    :class:`~repro.errors.FaultConfigError` when either side would be
+    empty — a cut that severs nothing is a configuration bug, not
+    weather.
+    """
+    ids = sorted(set(node_ids))
+    inside = frozenset(n for n in ids if zone_of(n) == zone)
+    outside = frozenset(n for n in ids if zone_of(n) != zone)
+    if not inside or not outside:
+        raise FaultConfigError(
+            f"domain cut of zone {zone} needs members on both sides "
+            f"({len(inside)} inside, {len(outside)} outside)"
+        )
+    return PartitionWindow(
+        side_a=inside, side_b=outside, start=start, end=end
+    )
 
 
 def live_members(network: "Network", members: Iterable[int]) -> list[int]:

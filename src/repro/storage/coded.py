@@ -163,6 +163,21 @@ class ArchivalTier:
             return False
         return len(self._live_chunks(entry)) >= self.config.data_chunks
 
+    def live_chunk_holders(
+        self, cluster_id: int, block_hash: Hash32
+    ) -> list[int]:
+        """Distinct live members holding chunks of one archived block.
+
+        The failure-domain audit checks these span distinct zones the
+        same way replica holders must; chunk placement already rides
+        ``deployment.placement``, so a spread-aware policy spreads
+        chunks automatically.
+        """
+        entry = self._entries.get((cluster_id, block_hash))
+        if entry is None:
+            return []
+        return sorted(set(self._live_chunks(entry).values()))
+
     def coded_floor_ok(self, cluster_id: int, block_hash: Hash32) -> bool:
         """The audit invariant: ≥ ``k`` live chunks, never co-located."""
         entry = self._entries.get((cluster_id, block_hash))

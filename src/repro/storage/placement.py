@@ -16,10 +16,13 @@ from __future__ import annotations
 import hashlib
 import math
 from abc import ABC, abstractmethod
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from repro.chain.block import BlockHeader
 from repro.errors import PlacementError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.domains import FailureDomainMap
 
 
 class PlacementPolicy(ABC):
@@ -100,6 +103,110 @@ class RendezvousPlacement(PlacementPolicy):
             reverse=True,
         )
         result = tuple(sorted(scored[:replication]))
+        if len(self._cache) >= self._CACHE_LIMIT:
+            self._cache.clear()
+        self._cache[key] = result
+        return result
+
+
+class DomainSpreadPlacement(PlacementPolicy):
+    """Rendezvous ranking post-filtered for failure-domain diversity.
+
+    Walks the same highest-random-weight ranking as
+    :class:`RendezvousPlacement` (identical per-member scores, so the
+    enabled and disabled policies are directly comparable), but picks
+    greedily for blast-radius spread: first members in **distinct
+    zones**, then members in repeat zones but distinct ``(zone, rack)``
+    labels, and only then best-effort fill in rank order.  With at
+    least ``r`` live zones the ``r`` replicas can never share a zone —
+    the property that keeps one
+    :class:`~repro.sim.faults.DomainOutageEvent` from erasing a block.
+
+    When a cluster spans fewer domains than copies the fallback is
+    **audited, not silent**: every computed placement that could not
+    reach full zone spread increments :attr:`domain_spread_deficit`
+    (chaos/endurance outcomes surface it), so an operator sees exactly
+    how many placements are running with a correlated blast radius.
+
+    Memoization keys include the domain map's version counter: a
+    re-assignment or membership sync invalidates stale spreads without
+    flushing unrelated entries.
+    """
+
+    _CACHE_LIMIT = 200_000
+
+    def __init__(self, domains: "FailureDomainMap") -> None:
+        self._domains = domains
+        self._cache: dict[tuple, tuple[int, ...]] = {}
+        #: Placements (distinct block/membership/version inputs) that
+        #: could not put every replica in its own zone.
+        self.domain_spread_deficit = 0
+
+    @property
+    def domains(self) -> "FailureDomainMap":
+        """The map this policy spreads against."""
+        return self._domains
+
+    def holders(
+        self,
+        header: BlockHeader,
+        members: Sequence[int],
+        replication: int,
+    ) -> tuple[int, ...]:
+        """See :meth:`PlacementPolicy.holders`."""
+        key = (
+            header.block_hash,
+            tuple(members),
+            replication,
+            self._domains.version,
+        )
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        canonical = self._check(members, replication)
+        block_hash = header.block_hash
+        ranked = sorted(
+            canonical,
+            key=lambda member: (
+                _member_block_digest(block_hash, member),
+                member,
+            ),
+            reverse=True,
+        )
+        chosen: list[int] = []
+        used_zones: set[int] = set()
+        used_labels: set = set()
+        # Pass 1: the top-ranked member of each so-far-unused zone.
+        for member in ranked:
+            if len(chosen) == replication:
+                break
+            label = self._domains.domain_of(member)
+            if label.zone not in used_zones:
+                chosen.append(member)
+                used_zones.add(label.zone)
+                used_labels.add(label)
+        # Pass 2: zones must repeat, but racks inside them need not.
+        if len(chosen) < replication:
+            for member in ranked:
+                if len(chosen) == replication:
+                    break
+                if member in chosen:
+                    continue
+                label = self._domains.domain_of(member)
+                if label not in used_labels:
+                    chosen.append(member)
+                    used_labels.add(label)
+        # Pass 3: best-effort fill in rank order (clusters smaller than
+        # their domain vocabulary can express).
+        if len(chosen) < replication:
+            for member in ranked:
+                if len(chosen) == replication:
+                    break
+                if member not in chosen:
+                    chosen.append(member)
+        if len({self._domains.zone_of(m) for m in chosen}) < len(chosen):
+            self.domain_spread_deficit += 1
+        result = tuple(sorted(chosen))
         if len(self._cache) >= self._CACHE_LIMIT:
             self._cache.clear()
         self._cache[key] = result

@@ -106,10 +106,10 @@ class TestRunnerProtocol:
 
 
 class TestDiscovery:
-    def test_all_twenty_experiments_discovered(self):
+    def test_all_twenty_one_experiments_discovered(self):
         workloads = discover_workloads()
         assert [w.bench_id for w in workloads] == [
-            f"e{i}" for i in range(1, 21)
+            f"e{i}" for i in range(1, 22)
         ]
 
     def test_quick_profile_fits_its_time_budget(self, tmp_path):
@@ -119,7 +119,7 @@ class TestDiscovery:
         elapsed = time.perf_counter() - start
         assert elapsed < QUICK.time_budget_seconds
         assert validate_payload(payload) == []
-        assert len(payload["benchmarks"]) == 20
+        assert len(payload["benchmarks"]) == 21
 
     def test_seed_determinism_across_independent_runs(self):
         workloads = [
@@ -233,7 +233,7 @@ class TestSchemaValidation:
             / "baseline.json"
         )
         assert baseline["profile"] == "quick"
-        assert len(baseline["benchmarks"]) == 20
+        assert len(baseline["benchmarks"]) == 21
         # The baseline carries the optimization provenance the repo's
         # performance trajectory documentation points at: wall-clock
         # wins record speedups, storage wins record savings.

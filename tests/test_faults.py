@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, FaultConfigError
 from repro.net.latency import ConstantLatency
 from repro.net.message import Message, MessageKind
 from repro.net.network import Network
@@ -117,6 +117,24 @@ class TestPartitionWindow:
         assert window.severs(1, 2, now=1.0)
         assert not window.severs(1, 2, now=2.0)
 
+    def test_exact_boundaries(self):
+        """The half-open contract at the edges: [start, end)."""
+        window = PartitionWindow(
+            frozenset({1}), frozenset({2}), start=3.0, end=7.0
+        )
+        assert window.severs(1, 2, now=3.0)  # inclusive start
+        assert window.severs(2, 1, now=6.999999)
+        assert not window.severs(1, 2, now=7.0)  # exclusive end
+        assert not window.severs(1, 2, now=7.000001)
+
+    def test_zero_length_window_never_severs(self):
+        window = PartitionWindow(
+            frozenset({1}), frozenset({2}), start=5.0, end=5.0
+        )
+        assert not window.severs(1, 2, now=5.0)
+        assert not window.severs(1, 2, now=4.999999)
+        assert not window.severs(1, 2, now=5.000001)
+
 
 class TestOutageEvent:
     def test_unknown_kind_rejected(self):
@@ -197,6 +215,63 @@ class TestFaultPlanGenerate:
             FaultPlan.generate(0, range(4), outage_window=(10.0, 5.0))
         with pytest.raises(ConfigurationError):
             FaultPlan.generate(0, range(4), outage_duration=-1.0)
+
+
+class TestFaultPlanValidation:
+    """Regression: inconsistent hand-written schedules must be rejected."""
+
+    def test_recover_without_crash_rejected(self):
+        with pytest.raises(FaultConfigError):
+            FaultPlan(
+                outages=[OutageEvent(at=5.0, node_id=1, kind=RECOVER)]
+            )
+
+    def test_overlapping_outages_rejected(self):
+        with pytest.raises(FaultConfigError):
+            FaultPlan(
+                outages=[
+                    OutageEvent(at=1.0, node_id=3, kind=CRASH),
+                    OutageEvent(at=2.0, node_id=3, kind=STALL),
+                ]
+            )
+
+    def test_recover_after_recover_rejected(self):
+        with pytest.raises(FaultConfigError):
+            FaultPlan(
+                outages=[
+                    OutageEvent(at=1.0, node_id=3, kind=CRASH),
+                    OutageEvent(at=2.0, node_id=3, kind=RECOVER),
+                    OutageEvent(at=3.0, node_id=3, kind=RECOVER),
+                ]
+            )
+
+    def test_crash_recover_crash_cycle_allowed(self):
+        plan = FaultPlan(
+            outages=[
+                OutageEvent(at=1.0, node_id=3, kind=CRASH),
+                OutageEvent(at=2.0, node_id=3, kind=RECOVER),
+                OutageEvent(at=3.0, node_id=3, kind=CRASH),
+            ]
+        )
+        assert len(plan.outages) == 3
+
+    def test_crash_without_recovery_allowed(self):
+        """A victim that never comes back is a legal schedule."""
+        plan = FaultPlan(
+            outages=[OutageEvent(at=1.0, node_id=3, kind=CRASH)]
+        )
+        assert len(plan.outages) == 1
+
+    def test_distinct_nodes_do_not_overlap(self):
+        plan = FaultPlan(
+            outages=[
+                OutageEvent(at=1.0, node_id=1, kind=CRASH),
+                OutageEvent(at=1.5, node_id=2, kind=STALL),
+                OutageEvent(at=2.0, node_id=1, kind=RECOVER),
+                OutageEvent(at=2.5, node_id=2, kind=RECOVER),
+            ]
+        )
+        assert len(plan.outages) == 4
 
 
 class TestFaultInjector:
@@ -372,6 +447,18 @@ class TestLiveMembers:
     def test_preserves_order(self, net):
         wire(net, 3)
         assert live_members(net, [2, 0, 1]) == [2, 0, 1]
+
+    def test_mixed_crashed_and_stalled(self, net):
+        """Crashed and stalled members drop out; everyone else stays."""
+        wire(net, 5)
+        injector = FaultPlan().install(net)
+        injector.crash(1)
+        injector.stall(3)
+        assert live_members(net, [0, 1, 2, 3, 4]) == [0, 2, 4]
+        injector.recover(1)
+        assert live_members(net, [0, 1, 2, 3, 4]) == [0, 1, 2, 4]
+        injector.recover(3)
+        assert live_members(net, [0, 1, 2, 3, 4]) == [0, 1, 2, 3, 4]
 
 
 class TestRetryPolicy:
